@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSpec(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.als")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const demoSrc = `
+sig Node { next: lone Node }
+fact Links { all n: Node | n not in n.next }
+assert NoSelf { no n: Node | n in n.next }
+check NoSelf for 3
+run { some Node } for 3
+`
+
+func TestParseVerb(t *testing.T) {
+	path := writeSpec(t, demoSrc)
+	if err := run([]string{"parse", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecVerb(t *testing.T) {
+	path := writeSpec(t, demoSrc)
+	if err := run([]string{"exec", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalVerb(t *testing.T) {
+	path := writeSpec(t, demoSrc)
+	if err := run([]string{"eval", path, "no next & iden"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	if err := run([]string{"parse", "/nonexistent.als"}); err == nil {
+		t.Error("missing file should error")
+	}
+	path := writeSpec(t, "sig {")
+	if err := run([]string{"parse", path}); err == nil {
+		t.Error("malformed spec should error")
+	}
+	if err := run([]string{"frobnicate", path}); err == nil {
+		t.Error("unknown verb should error")
+	}
+	if err := run([]string{"parse"}); err == nil {
+		t.Error("missing file arg should error")
+	}
+}

@@ -1,0 +1,83 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -all                 # everything, full-size corpora
+//	experiments -scale 10 -table1    # 1/10th corpora, Table I only
+//	experiments -seed 7 -fig3
+//
+// Output goes to stdout; progress to stderr. A full-scale run evaluates
+// 12 techniques over 1,974 specifications.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"specrepair/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulated-LLM seed")
+	scale := fs.Int("scale", 1, "divide corpus sizes by this factor")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	table1 := fs.Bool("table1", false, "render Table I (REP counts)")
+	fig2 := fs.Bool("fig2", false, "render Figure 2 (TM/SM similarity)")
+	fig3 := fs.Bool("fig3", false, "render Figure 3 (Pearson correlations)")
+	table2 := fs.Bool("table2", false, "render Table II (hybrids)")
+	csvDir := fs.String("csv", "", "also write CSV exports into this directory")
+	fig4 := fs.Bool("fig4", false, "render Figure 4 (Venn regions)")
+	all := fs.Bool("all", false, "render everything")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *all {
+		*table1, *fig2, *fig3, *table2, *fig4 = true, true, true, true, true
+	}
+	if !*table1 && !*fig2 && !*fig3 && !*table2 && !*fig4 {
+		return fmt.Errorf("nothing selected; pass -all or one of -table1 -fig2 -fig3 -table2 -fig4")
+	}
+
+	start := time.Now()
+	study, err := experiments.Run(*seed, *scale, *workers, func(msg string) {
+		fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), msg)
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(study.Summary())
+	if *table1 {
+		fmt.Println(study.TableI())
+	}
+	if *fig2 {
+		fmt.Println(study.RenderFigure2())
+	}
+	if *fig3 {
+		fmt.Println(study.RenderFigure3())
+	}
+	if *table2 {
+		fmt.Println(study.RenderTableII())
+	}
+	if *fig4 {
+		fmt.Println(study.RenderFigure4())
+	}
+	if *csvDir != "" {
+		if err := study.WriteCSV(*csvDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "CSV exports written to %s\n", *csvDir)
+	}
+	fmt.Fprintf(os.Stderr, "total wall clock: %v\n", time.Since(start))
+	return nil
+}

@@ -1,0 +1,86 @@
+// Command specrepair runs a repair technique (or a hybrid pairing) on a
+// faulty Alloy specification and prints the repaired specification.
+//
+// Usage:
+//
+//	specrepair -technique ATR faulty.als
+//	specrepair -technique Multi-Round_None -seed 7 faulty.als
+//	specrepair -hybrid ATR,Multi-Round_None faulty.als
+//	specrepair -list
+//
+// The property oracle is the commands embedded in the specification itself
+// (check commands must pass, run commands must be satisfiable).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"specrepair/internal/alloy/parser"
+	"specrepair/internal/alloy/printer"
+	"specrepair/internal/core"
+	"specrepair/internal/repair"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "specrepair:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("specrepair", flag.ContinueOnError)
+	technique := fs.String("technique", "ATR", "technique name (see -list)")
+	hybrid := fs.String("hybrid", "", "comma-separated pair of techniques to run in sequence")
+	seed := fs.Int64("seed", 1, "seed for the simulated LLM")
+	list := fs.Bool("list", false, "list available techniques")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, n := range core.TechniqueNames {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: specrepair [flags] FILE")
+	}
+	path := fs.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	mod, err := parser.Parse(string(src))
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	problem := repair.Problem{Name: path, Faulty: mod}
+
+	names := []string{*technique}
+	if *hybrid != "" {
+		names = strings.Split(*hybrid, ",")
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		factory, err := core.FactoryByName(*seed, name)
+		if err != nil {
+			return err
+		}
+		tool := factory.New()
+		out, err := tool.Repair(problem)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: repaired=%v candidates=%d analyzer-calls=%d\n",
+			name, out.Repaired, out.Stats.CandidatesTried, out.Stats.AnalyzerCalls)
+		if out.Repaired && out.Candidate != nil {
+			fmt.Print(printer.Module(out.Candidate))
+			return nil
+		}
+	}
+	return fmt.Errorf("no technique repaired %s", path)
+}

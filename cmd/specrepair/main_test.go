@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const faultySrc = `
+sig Node { next: lone Node }
+fact Links { all n: Node | n in n.next }
+assert NoSelf { no n: Node | n in n.next }
+check NoSelf for 3
+run { some Node } for 3
+`
+
+func writeSpec(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "faulty.als")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestListTechniques(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairWithBeAFix(t *testing.T) {
+	path := writeSpec(t, faultySrc)
+	if err := run([]string{"-technique", "BeAFix", path}); err != nil {
+		t.Fatalf("BeAFix should repair the demo fault: %v", err)
+	}
+}
+
+func TestHybridSequence(t *testing.T) {
+	path := writeSpec(t, faultySrc)
+	if err := run([]string{"-hybrid", "ATR,Multi-Round_None", path}); err != nil {
+		t.Fatalf("hybrid should repair: %v", err)
+	}
+}
+
+func TestUnknownTechnique(t *testing.T) {
+	path := writeSpec(t, faultySrc)
+	if err := run([]string{"-technique", "Nope", path}); err == nil {
+		t.Error("unknown technique should error")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	if err := run([]string{"-technique", "BeAFix"}); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,3 @@
+module specrepair
+
+go 1.22

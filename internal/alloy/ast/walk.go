@@ -1,0 +1,181 @@
+package ast
+
+// Walk calls fn for expr and every expression beneath it, in pre-order.
+// If fn returns false for a node, its children are not visited.
+func Walk(expr Expr, fn func(Expr) bool) {
+	if expr == nil || !fn(expr) {
+		return
+	}
+	for _, child := range Children(expr) {
+		Walk(child, fn)
+	}
+}
+
+// Children returns the direct sub-expressions of expr, in source order.
+// Declaration bounding expressions count as children.
+func Children(expr Expr) []Expr {
+	switch e := expr.(type) {
+	case *Ident, *Const, *IntLit:
+		return nil
+	case *Unary:
+		return []Expr{e.Sub}
+	case *Binary:
+		return []Expr{e.Left, e.Right}
+	case *BoxJoin:
+		out := make([]Expr, 0, len(e.Args)+1)
+		out = append(out, e.Target)
+		out = append(out, e.Args...)
+		return out
+	case *Prime:
+		return []Expr{e.Sub}
+	case *Quantified:
+		out := make([]Expr, 0, len(e.Decls)+1)
+		for _, d := range e.Decls {
+			out = append(out, d.Expr)
+		}
+		out = append(out, e.Body)
+		return out
+	case *Comprehension:
+		out := make([]Expr, 0, len(e.Decls)+1)
+		for _, d := range e.Decls {
+			out = append(out, d.Expr)
+		}
+		out = append(out, e.Body)
+		return out
+	case *Let:
+		out := make([]Expr, 0, len(e.Values)+1)
+		out = append(out, e.Values...)
+		out = append(out, e.Body)
+		return out
+	case *IfElse:
+		return []Expr{e.Cond, e.Then, e.Else}
+	case *Block:
+		return append([]Expr(nil), e.Exprs...)
+	case *Call:
+		return append([]Expr(nil), e.Args...)
+	default:
+		return nil
+	}
+}
+
+// Rewrite applies fn bottom-up to every expression under expr and returns the
+// rewritten tree. fn receives each node after its children were rewritten; it
+// may return the node unchanged or a replacement. The input tree is not
+// modified: parents of replaced children are re-allocated.
+func Rewrite(expr Expr, fn func(Expr) Expr) Expr {
+	if expr == nil {
+		return nil
+	}
+	switch e := expr.(type) {
+	case *Ident, *Const, *IntLit:
+		return fn(expr)
+	case *Unary:
+		sub := Rewrite(e.Sub, fn)
+		if sub != e.Sub {
+			expr = &Unary{Op: e.Op, Sub: sub, OpPos: e.OpPos}
+		}
+		return fn(expr)
+	case *Binary:
+		l, r := Rewrite(e.Left, fn), Rewrite(e.Right, fn)
+		if l != e.Left || r != e.Right {
+			expr = &Binary{Op: e.Op, Left: l, Right: r, LeftMult: e.LeftMult, RightMult: e.RightMult}
+		}
+		return fn(expr)
+	case *BoxJoin:
+		target := Rewrite(e.Target, fn)
+		args, changed := rewriteSlice(e.Args, fn)
+		if target != e.Target || changed {
+			expr = &BoxJoin{Target: target, Args: args}
+		}
+		return fn(expr)
+	case *Prime:
+		sub := Rewrite(e.Sub, fn)
+		if sub != e.Sub {
+			expr = &Prime{Sub: sub}
+		}
+		return fn(expr)
+	case *Quantified:
+		decls, dchanged := rewriteDecls(e.Decls, fn)
+		body := Rewrite(e.Body, fn)
+		if dchanged || body != e.Body {
+			expr = &Quantified{Quant: e.Quant, Decls: decls, Body: body, QuantPos: e.QuantPos}
+		}
+		return fn(expr)
+	case *Comprehension:
+		decls, dchanged := rewriteDecls(e.Decls, fn)
+		body := Rewrite(e.Body, fn)
+		if dchanged || body != e.Body {
+			expr = &Comprehension{Decls: decls, Body: body, OpenPos: e.OpenPos}
+		}
+		return fn(expr)
+	case *Let:
+		vals, changed := rewriteSlice(e.Values, fn)
+		body := Rewrite(e.Body, fn)
+		if changed || body != e.Body {
+			expr = &Let{Names: append([]string(nil), e.Names...), Values: vals, Body: body, LetPos: e.LetPos}
+		}
+		return fn(expr)
+	case *IfElse:
+		c, t, el := Rewrite(e.Cond, fn), Rewrite(e.Then, fn), Rewrite(e.Else, fn)
+		if c != e.Cond || t != e.Then || el != e.Else {
+			expr = &IfElse{Cond: c, Then: t, Else: el}
+		}
+		return fn(expr)
+	case *Block:
+		exprs, changed := rewriteSlice(e.Exprs, fn)
+		if changed {
+			expr = &Block{Exprs: exprs, OpenPos: e.OpenPos}
+		}
+		return fn(expr)
+	case *Call:
+		args, changed := rewriteSlice(e.Args, fn)
+		if changed {
+			expr = &Call{Name: e.Name, Args: args, NamePos: e.NamePos}
+		}
+		return fn(expr)
+	default:
+		return fn(expr)
+	}
+}
+
+func rewriteSlice(in []Expr, fn func(Expr) Expr) ([]Expr, bool) {
+	out := in
+	changed := false
+	for i, x := range in {
+		nx := Rewrite(x, fn)
+		if nx != x {
+			if !changed {
+				out = append([]Expr(nil), in...)
+				changed = true
+			}
+			out[i] = nx
+		}
+	}
+	return out, changed
+}
+
+func rewriteDecls(in []*Decl, fn func(Expr) Expr) ([]*Decl, bool) {
+	out := in
+	changed := false
+	for i, d := range in {
+		nx := Rewrite(d.Expr, fn)
+		if nx != d.Expr {
+			if !changed {
+				out = append([]*Decl(nil), in...)
+				changed = true
+			}
+			nd := *d
+			nd.Expr = nx
+			out[i] = &nd
+		}
+	}
+	return out, changed
+}
+
+// CountNodes returns the number of expression nodes in the tree rooted at
+// expr, counting expr itself.
+func CountNodes(expr Expr) int {
+	n := 0
+	Walk(expr, func(Expr) bool { n++; return true })
+	return n
+}

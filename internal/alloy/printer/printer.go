@@ -1,0 +1,359 @@
+// Package printer renders AST nodes back to canonical Alloy concrete syntax.
+//
+// The output is deterministic: printing a parsed module and re-parsing it
+// yields a structurally identical tree. Repair tools produce ASTs; the
+// similarity metrics (Token Match, Syntax Match) consume this printer's
+// output, so canonical form matters more than preserving source layout.
+package printer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"specrepair/internal/alloy/ast"
+)
+
+// Module renders an entire module.
+func Module(m *ast.Module) string {
+	var b strings.Builder
+	if m.Name != "" {
+		fmt.Fprintf(&b, "module %s\n\n", m.Name)
+	}
+	for _, s := range m.Sigs {
+		b.WriteString(sig(s))
+		b.WriteString("\n")
+	}
+	for _, f := range m.Facts {
+		if f.Name != "" {
+			fmt.Fprintf(&b, "fact %s {\n", f.Name)
+		} else {
+			b.WriteString("fact {\n")
+		}
+		writeBody(&b, f.Body, 1)
+		b.WriteString("}\n\n")
+	}
+	for _, fn := range m.Funs {
+		fmt.Fprintf(&b, "fun %s[%s]: %s {\n", fn.Name, decls(fn.Params), Expr(fn.Result))
+		writeIndent(&b, 1)
+		b.WriteString(Expr(fn.Body))
+		b.WriteString("\n}\n\n")
+	}
+	for _, p := range m.Preds {
+		if len(p.Params) == 0 {
+			fmt.Fprintf(&b, "pred %s {\n", p.Name)
+		} else {
+			fmt.Fprintf(&b, "pred %s[%s] {\n", p.Name, decls(p.Params))
+		}
+		writeBody(&b, p.Body, 1)
+		b.WriteString("}\n\n")
+	}
+	for _, a := range m.Asserts {
+		fmt.Fprintf(&b, "assert %s {\n", a.Name)
+		writeBody(&b, a.Body, 1)
+		b.WriteString("}\n\n")
+	}
+	for _, c := range m.Commands {
+		b.WriteString(command(c))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func sig(s *ast.Sig) string {
+	var b strings.Builder
+	if s.Abstract {
+		b.WriteString("abstract ")
+	}
+	if s.Mult != ast.MultDefault && s.Mult.String() != "" {
+		b.WriteString(s.Mult.String())
+		b.WriteString(" ")
+	}
+	b.WriteString("sig ")
+	b.WriteString(strings.Join(s.Names, ", "))
+	if s.Parent != "" {
+		b.WriteString(" extends ")
+		b.WriteString(s.Parent)
+	} else if len(s.Subset) > 0 {
+		b.WriteString(" in ")
+		b.WriteString(strings.Join(s.Subset, " + "))
+	}
+	if len(s.Fields) == 0 {
+		b.WriteString(" {}")
+	} else {
+		b.WriteString(" {\n")
+		for i, f := range s.Fields {
+			writeIndent(&b, 1)
+			b.WriteString(decl(f))
+			if i < len(s.Fields)-1 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("}")
+	}
+	if s.Fact != nil {
+		b.WriteString(" {\n")
+		var tmp strings.Builder
+		writeBody(&tmp, s.Fact, 1)
+		b.WriteString(tmp.String())
+		b.WriteString("}")
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func command(c *ast.Command) string {
+	var b strings.Builder
+	if c.Name != "" && c.Name != c.Target {
+		fmt.Fprintf(&b, "%s: ", c.Name)
+	}
+	b.WriteString(c.Kind.String())
+	b.WriteString(" ")
+	if c.Target != "" {
+		b.WriteString(c.Target)
+	} else if c.Block != nil {
+		b.WriteString(exprPrec(c.Block, 0))
+	}
+	b.WriteString(scopeStr(c.Scope))
+	if c.Expect >= 0 {
+		fmt.Fprintf(&b, " expect %d", c.Expect)
+	}
+	return b.String()
+}
+
+func scopeStr(s ast.Scope) string {
+	var parts []string
+	add := func(m map[string]int, prefix string) {
+		names := make([]string, 0, len(m))
+		for k := range m {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			parts = append(parts, fmt.Sprintf("%s%d %s", prefix, m[n], n))
+		}
+	}
+	if s.Bitwidth > 0 {
+		parts = append(parts, fmt.Sprintf("%d Int", s.Bitwidth))
+	}
+	add(s.Exact, "exactly ")
+	add(s.PerSig, "")
+	switch {
+	case s.Default > 0 && len(parts) > 0:
+		return fmt.Sprintf(" for %d but %s", s.Default, strings.Join(parts, ", "))
+	case s.Default > 0:
+		return fmt.Sprintf(" for %d", s.Default)
+	case len(parts) > 0:
+		return " for " + strings.Join(parts, ", ")
+	default:
+		return ""
+	}
+}
+
+func decls(ds []*ast.Decl) string {
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = decl(d)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func decl(d *ast.Decl) string {
+	var b strings.Builder
+	if d.Disj {
+		b.WriteString("disj ")
+	}
+	b.WriteString(strings.Join(d.Names, ", "))
+	b.WriteString(": ")
+	if d.Mult != ast.MultDefault && d.Mult.String() != "" {
+		b.WriteString(d.Mult.String())
+		b.WriteString(" ")
+	}
+	b.WriteString(exprPrec(d.Expr, precUnion))
+	return b.String()
+}
+
+func writeIndent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+// writeBody writes a block body one formula per line; non-block bodies are
+// written as a single line.
+func writeBody(b *strings.Builder, e ast.Expr, depth int) {
+	if blk, ok := e.(*ast.Block); ok {
+		for _, x := range blk.Exprs {
+			writeIndent(b, depth)
+			b.WriteString(Expr(x))
+			b.WriteString("\n")
+		}
+		return
+	}
+	writeIndent(b, depth)
+	b.WriteString(Expr(e))
+	b.WriteString("\n")
+}
+
+// Precedence levels, loosest to tightest. A child is parenthesized when its
+// level is strictly lower than its context requires.
+const (
+	precQuant = iota // quantified, let, comprehension body position
+	precOr
+	precIff
+	precImplies
+	precAnd
+	precNot
+	precCompare
+	precMultForm
+	precUnion
+	precCard
+	precOverride
+	precIntersect
+	precArrow
+	precRestr
+	precJoin
+	precUnary
+	precAtom
+)
+
+func binPrec(op ast.BinOp) int {
+	switch op {
+	case ast.BinOr:
+		return precOr
+	case ast.BinIff:
+		return precIff
+	case ast.BinImplies:
+		return precImplies
+	case ast.BinAnd:
+		return precAnd
+	case ast.BinIn, ast.BinNotIn, ast.BinEq, ast.BinNotEq, ast.BinLt, ast.BinGt, ast.BinLtEq, ast.BinGtEq:
+		return precCompare
+	case ast.BinUnion, ast.BinDiff:
+		return precUnion
+	case ast.BinOverride:
+		return precOverride
+	case ast.BinIntersect:
+		return precIntersect
+	case ast.BinProduct:
+		return precArrow
+	case ast.BinDomRestr, ast.BinRanRestr:
+		return precRestr
+	case ast.BinJoin:
+		return precJoin
+	default:
+		return precAtom
+	}
+}
+
+func unPrec(op ast.UnOp) int {
+	switch op {
+	case ast.UnNot:
+		return precNot
+	case ast.UnNo, ast.UnSome, ast.UnLone, ast.UnOne, ast.UnSet:
+		return precMultForm
+	case ast.UnCard:
+		return precCard
+	case ast.UnTranspose, ast.UnClosure, ast.UnReflClose:
+		return precUnary
+	default:
+		return precAtom
+	}
+}
+
+// Expr renders an expression with minimal parentheses.
+func Expr(e ast.Expr) string { return exprPrec(e, precQuant) }
+
+func exprPrec(e ast.Expr, ctx int) string {
+	s, prec := render(e)
+	if prec < ctx {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func render(e ast.Expr) (string, int) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if x.NoImplicit {
+			return "@" + x.Name, precAtom
+		}
+		return x.Name, precAtom
+	case *ast.Const:
+		return x.Kind.String(), precAtom
+	case *ast.IntLit:
+		return fmt.Sprintf("%d", x.Value), precAtom
+	case *ast.Prime:
+		return exprPrec(x.Sub, precAtom) + "'", precAtom
+	case *ast.Unary:
+		p := unPrec(x.Op)
+		sep := " "
+		if x.Op == ast.UnTranspose || x.Op == ast.UnClosure || x.Op == ast.UnReflClose || x.Op == ast.UnCard {
+			sep = ""
+		}
+		// not binds looser than its operand level; keep children at same level.
+		return x.Op.String() + sep + exprPrec(x.Sub, p+1), p
+	case *ast.Binary:
+		p := binPrec(x.Op)
+		op := x.Op.String()
+		if x.Op == ast.BinProduct {
+			if x.LeftMult != 0 && x.LeftMult.String() != "" {
+				op = x.LeftMult.String() + " " + op
+			}
+			if x.RightMult != 0 && x.RightMult.String() != "" {
+				op = op + " " + x.RightMult.String()
+			}
+		}
+		if x.Op == ast.BinJoin {
+			return exprPrec(x.Left, p) + "." + exprPrec(x.Right, p+1), p
+		}
+		// Left associative: right child needs one level tighter.
+		rctx := p + 1
+		if x.Op == ast.BinImplies { // right associative
+			return exprPrec(x.Left, p+1) + " " + op + " " + exprPrec(x.Right, p), p
+		}
+		return exprPrec(x.Left, p) + " " + op + " " + exprPrec(x.Right, rctx), p
+	case *ast.BoxJoin:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprPrec(a, precUnion)
+		}
+		return exprPrec(x.Target, precJoin) + "[" + strings.Join(args, ", ") + "]", precJoin
+	case *ast.Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprPrec(a, precUnion)
+		}
+		return x.Name + "[" + strings.Join(args, ", ") + "]", precAtom
+	case *ast.Quantified:
+		ds := make([]string, len(x.Decls))
+		for i, d := range x.Decls {
+			ds[i] = decl(d)
+		}
+		return x.Quant.String() + " " + strings.Join(ds, ", ") + " | " + exprPrec(x.Body, precQuant), precQuant
+	case *ast.Comprehension:
+		ds := make([]string, len(x.Decls))
+		for i, d := range x.Decls {
+			ds[i] = decl(d)
+		}
+		return "{" + strings.Join(ds, ", ") + " | " + exprPrec(x.Body, precQuant) + "}", precAtom
+	case *ast.Let:
+		binds := make([]string, len(x.Names))
+		for i, n := range x.Names {
+			binds[i] = n + " = " + exprPrec(x.Values[i], precUnion)
+		}
+		return "let " + strings.Join(binds, ", ") + " | " + exprPrec(x.Body, precQuant), precQuant
+	case *ast.IfElse:
+		return exprPrec(x.Cond, precImplies+1) + " implies " + exprPrec(x.Then, precImplies+1) +
+			" else " + exprPrec(x.Else, precImplies), precImplies
+	case *ast.Block:
+		parts := make([]string, len(x.Exprs))
+		for i, sub := range x.Exprs {
+			parts[i] = exprPrec(sub, precQuant)
+		}
+		return "{ " + strings.Join(parts, " ") + " }", precAtom
+	default:
+		return fmt.Sprintf("<?%T>", e), precAtom
+	}
+}

@@ -1,0 +1,340 @@
+// Package analyzer is the bounded model finder for the Alloy subset — the
+// functional equivalent of the Alloy Analyzer as the study uses it: execute
+// run/check commands under bounded scopes, return instances or
+// counterexamples, and compare two specifications command-by-command (the
+// REP metric's equisatisfiability check).
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+
+	"specrepair/internal/alloy/ast"
+	"specrepair/internal/alloy/types"
+	"specrepair/internal/bounds"
+	"specrepair/internal/instance"
+	"specrepair/internal/sat"
+	"specrepair/internal/translate"
+)
+
+// Options configures the analyzer.
+type Options struct {
+	// MaxConflicts bounds each SAT search; 0 means the default budget.
+	MaxConflicts int64
+}
+
+// DefaultMaxConflicts bounds SAT search per command so that pathological
+// repair candidates cannot stall a whole benchmark run.
+const DefaultMaxConflicts = 500_000
+
+// Analyzer executes commands of Alloy modules.
+type Analyzer struct {
+	opts Options
+}
+
+// New returns an analyzer.
+func New(opts Options) *Analyzer {
+	if opts.MaxConflicts == 0 {
+		opts.MaxConflicts = DefaultMaxConflicts
+	}
+	return &Analyzer{opts: opts}
+}
+
+// Stats reports translation and solving effort for one command.
+type Stats struct {
+	RelVars    int
+	SolverVars int
+	Clauses    int
+	Conflicts  int64
+	Decisions  int64
+}
+
+// Result is the outcome of one command execution.
+type Result struct {
+	Command *ast.Command
+	// Sat reports whether the command's formula was satisfiable: for run,
+	// an instance exists; for check, a counterexample exists.
+	Sat bool
+	// Status is the raw solver status (StatusUnknown when the budget ran out).
+	Status sat.Status
+	// Instance is the model (run) or counterexample (check) when Sat.
+	Instance *instance.Instance
+	Stats    Stats
+}
+
+// Passed reports whether the command met its expectation: a check passes
+// when no counterexample exists; a run "passes" when an instance exists
+// (or matches an explicit expect annotation).
+func (r *Result) Passed() bool {
+	if r.Command.Expect >= 0 {
+		want := r.Command.Expect == 1
+		return r.Sat == want
+	}
+	if r.Command.Kind == ast.CmdCheck {
+		return !r.Sat
+	}
+	return r.Sat
+}
+
+// RunCommand executes one command of mod.
+func (a *Analyzer) RunCommand(mod *ast.Module, cmd *ast.Command) (*Result, error) {
+	s, err := a.newSession(mod)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(cmd)
+}
+
+// session shares lowering and per-scope translations across the commands of
+// one module. Commands with the same scope reuse a single incremental SAT
+// solver: the base problem (implicit constraints and facts) is asserted
+// once, and each command's goal becomes a gate literal solved under an
+// assumption — the batching a production analyzer performs.
+type session struct {
+	an      *Analyzer
+	low     *ast.Module
+	info    *types.Info
+	byScope map[string]*scopeState
+}
+
+type scopeState struct {
+	bounds *bounds.Bounds
+	tr     *translate.Translator
+	solver *sat.Solver
+	cb     *translate.CNFBuilder
+	err    error
+}
+
+func (a *Analyzer) newSession(mod *ast.Module) (*session, error) {
+	low, info, err := types.Lower(mod)
+	if err != nil {
+		return nil, fmt.Errorf("analyzing: %w", err)
+	}
+	return &session{an: a, low: low, info: info, byScope: map[string]*scopeState{}}, nil
+}
+
+func scopeKey(sc ast.Scope) string {
+	key := fmt.Sprintf("d%d|bw%d", sc.Default, sc.Bitwidth)
+	for _, m := range []map[string]int{sc.Exact, sc.PerSig} {
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			key += fmt.Sprintf("|%s=%d", n, m[n])
+		}
+		key += "||"
+	}
+	return key
+}
+
+// state returns the prepared solver state for a scope, building it on first
+// use.
+func (s *session) state(sc ast.Scope) *scopeState {
+	key := scopeKey(sc)
+	if st, ok := s.byScope[key]; ok {
+		return st
+	}
+	st := &scopeState{}
+	s.byScope[key] = st
+
+	b, err := bounds.Build(s.info, sc)
+	if err != nil {
+		st.err = fmt.Errorf("bounding: %w", err)
+		return st
+	}
+	st.bounds = b
+	st.tr = translate.New(s.info, b)
+	implicit, err := st.tr.ImplicitConstraints()
+	if err != nil {
+		st.err = fmt.Errorf("translating implicit constraints: %w", err)
+		return st
+	}
+	parts := []translate.Node{implicit}
+	for _, f := range s.low.Facts {
+		n, err := st.tr.Formula(f.Body, nil)
+		if err != nil {
+			st.err = fmt.Errorf("translating fact %s: %w", f.Name, err)
+			return st
+		}
+		parts = append(parts, n)
+	}
+	st.solver = sat.NewSolver(sat.Options{MaxConflicts: s.an.opts.MaxConflicts})
+	st.cb = translate.NewCNFBuilder(st.solver, st.tr.NumVars())
+	st.cb.AddAssert(translate.And(parts...))
+	return st
+}
+
+// run executes one command within the session.
+func (s *session) run(cmd *ast.Command) (*Result, error) {
+	st := s.state(cmd.Scope)
+	if st.err != nil {
+		return nil, fmt.Errorf("%s %s: %w", cmd.Kind, cmd.Name, st.err)
+	}
+	goal, err := commandGoal(s.low, cmd)
+	if err != nil {
+		return nil, err
+	}
+	goalNode, err := st.tr.Formula(goal, nil)
+	if err != nil {
+		return nil, fmt.Errorf("translating %s %s: %w", cmd.Kind, cmd.Name, err)
+	}
+	if cmd.Kind == ast.CmdCheck {
+		goalNode = translate.Not(goalNode)
+	}
+	gate := st.cb.Lit(goalNode)
+
+	status := st.solver.Solve(gate)
+	res := &Result{
+		Command: cmd,
+		Status:  status,
+		Sat:     status == sat.StatusSat,
+		Stats: Stats{
+			RelVars:    st.tr.NumVars(),
+			SolverVars: st.solver.NumVars(),
+			Clauses:    st.solver.NumClauses(),
+			Conflicts:  st.solver.Conflicts,
+			Decisions:  st.solver.Decisions,
+		},
+	}
+	if res.Sat {
+		res.Instance = st.tr.Decode(st.solver.Model())
+	}
+	return res, nil
+}
+
+// commandGoal resolves the formula a command analyzes: the (existentially
+// parameterized) predicate body for run, the assertion body for check, or
+// the inline block.
+func commandGoal(low *ast.Module, cmd *ast.Command) (ast.Expr, error) {
+	if cmd.Block != nil {
+		return cmd.Block, nil
+	}
+	switch cmd.Kind {
+	case ast.CmdRun:
+		p := low.LookupPred(cmd.Target)
+		if p == nil {
+			return nil, fmt.Errorf("run target %q not found", cmd.Target)
+		}
+		if len(p.Params) == 0 {
+			return p.Body, nil
+		}
+		decls := make([]*ast.Decl, len(p.Params))
+		for i, d := range p.Params {
+			decls[i] = d.Clone()
+		}
+		return &ast.Quantified{
+			Quant:    ast.QuantSome,
+			Decls:    decls,
+			Body:     p.Body.CloneExpr(),
+			QuantPos: p.Pos(),
+		}, nil
+	case ast.CmdCheck:
+		as := low.LookupAssert(cmd.Target)
+		if as == nil {
+			return nil, fmt.Errorf("check target %q not found", cmd.Target)
+		}
+		return as.Body, nil
+	default:
+		return nil, fmt.Errorf("unknown command kind")
+	}
+}
+
+// ExecuteAll runs every command in the module, in declaration order.
+func (a *Analyzer) ExecuteAll(mod *ast.Module) ([]*Result, error) {
+	s, err := a.newSession(mod)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(s.low.Commands))
+	for _, cmd := range s.low.Commands {
+		r, err := s.run(cmd)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PassesAll executes the module's commands in declaration order, stopping
+// at the first command that misses its expectation. It is the fast path
+// for oracle checks in repair search loops.
+func (a *Analyzer) PassesAll(mod *ast.Module) (bool, error) {
+	s, err := a.newSession(mod)
+	if err != nil {
+		return false, err
+	}
+	for _, cmd := range s.low.Commands {
+		r, err := s.run(cmd)
+		if err != nil {
+			return false, err
+		}
+		if !r.Passed() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Verdicts executes every command and returns the satisfiability verdict
+// sequence, for callers that compare many candidates against one baseline.
+// The error return distinguishes non-analyzable modules.
+func (a *Analyzer) Verdicts(mod *ast.Module) ([]bool, error) {
+	results, err := a.ExecuteAll(mod)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(results))
+	for i, r := range results {
+		if r.Status == sat.StatusUnknown {
+			return nil, fmt.Errorf("command %s exceeded the solving budget", r.Command.Name)
+		}
+		out[i] = r.Sat
+	}
+	return out, nil
+}
+
+// EquisatBaseline compares a candidate against precomputed ground-truth
+// verdicts: the ground truth's commands are executed on the candidate and
+// must reproduce every verdict. Malformed candidates are simply not
+// equisatisfiable (nil error).
+func (a *Analyzer) EquisatBaseline(gtCommands []*ast.Command, verdicts []bool, candidate *ast.Module) (bool, error) {
+	s, err := a.newSession(candidate)
+	if err != nil {
+		return false, nil // malformed candidate: not a repair
+	}
+	for i, cmd := range gtCommands {
+		cmd := cmd.Clone()
+		if cmd.Block != nil {
+			// Inline block goals may call predicates; resolve them against
+			// the candidate.
+			cmd.Block = types.RewriteCalls(s.low, cmd.Block)
+		}
+		cand, err := s.run(cmd)
+		if err != nil {
+			return false, nil // command not executable on the candidate
+		}
+		if cand.Status == sat.StatusUnknown {
+			return false, nil
+		}
+		if cand.Sat != verdicts[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Equisat implements the REP comparison: execute every command of the
+// ground-truth module against both the ground truth and the candidate,
+// and report whether all satisfiability verdicts agree. Candidates that do
+// not parse the ground truth's commands (missing predicates or assertions)
+// or fail to type-check are not equisatisfiable.
+func (a *Analyzer) Equisat(groundTruth, candidate *ast.Module) (bool, error) {
+	verdicts, err := a.Verdicts(groundTruth)
+	if err != nil {
+		return false, fmt.Errorf("ground truth does not analyze: %w", err)
+	}
+	return a.EquisatBaseline(groundTruth.Commands, verdicts, candidate)
+}

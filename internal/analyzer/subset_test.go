@@ -1,0 +1,171 @@
+package analyzer
+
+import (
+	"testing"
+)
+
+func TestSubsetSigSemantics(t *testing.T) {
+	src := `
+sig Item { rel: set Item }
+sig Red in Item {}
+fact { some Red }
+run {} for 3
+`
+	res := run(t, src)[0]
+	if !res.Sat {
+		t.Fatal("expected SAT")
+	}
+	red := res.Instance.Rel("Red")
+	item := res.Instance.Rel("Item")
+	if red.IsEmpty() {
+		t.Error("Red must be non-empty per the fact")
+	}
+	if !red.SubsetOf(item) {
+		t.Errorf("Red ⊄ Item: red=%s item=%s",
+			red.String(res.Instance.Universe), item.String(res.Instance.Universe))
+	}
+}
+
+func TestSubsetSigOfUnion(t *testing.T) {
+	src := `
+sig A {}
+sig B {}
+sig Mixed in A + B {}
+run { some Mixed & A and some Mixed & B } for 3
+`
+	res := run(t, src)[0]
+	if !res.Sat {
+		t.Fatal("a subset of a union can draw from both supersets")
+	}
+	mixed := res.Instance.Rel("Mixed")
+	ab := res.Instance.Rel("A").Union(res.Instance.Rel("B"))
+	if !mixed.SubsetOf(ab) {
+		t.Error("Mixed must stay within A + B")
+	}
+}
+
+func TestSubsetSigViolationUnsat(t *testing.T) {
+	src := `
+sig A {}
+sig B {}
+sig OnlyA in A {}
+run { some OnlyA & B } for 3
+`
+	res := run(t, src)[0]
+	if res.Sat {
+		t.Errorf("OnlyA cannot intersect B:\n%s", res.Instance)
+	}
+}
+
+func TestArrowLeftMultiplicity(t *testing.T) {
+	// owns: Person lone -> Car means each car has at most one owner (per
+	// source atom of the field).
+	src := `
+sig Person {}
+sig Car {}
+one sig Registry { owns: Person lone -> Car }
+pred shared { some c: Car | #Registry.owns.c > 1 }
+run shared for 3
+`
+	res := run(t, src)[0]
+	if res.Sat {
+		t.Errorf("lone left multiplicity admitted a shared car:\n%s", res.Instance)
+	}
+}
+
+func TestArrowSomeMultiplicity(t *testing.T) {
+	src := `
+sig Room {}
+sig Key {}
+one sig Desk { issue: Room -> some Key }
+pred emptyRoom { some r: Room | no Desk.issue[r] }
+run emptyRoom for 2
+`
+	res := run(t, src)[0]
+	if res.Sat {
+		t.Errorf("some right multiplicity admitted an issueless room:\n%s", res.Instance)
+	}
+}
+
+func TestComprehensionTranslation(t *testing.T) {
+	src := `
+sig Node { next: lone Node }
+run { #{n: Node | some n.next} = 2 } for 3
+`
+	res := run(t, src)[0]
+	if !res.Sat {
+		t.Fatal("two nodes with successors should be achievable at scope 3")
+	}
+}
+
+func TestLoneSigSemantics(t *testing.T) {
+	src := `
+lone sig Config {}
+run { no Config } for 3
+run { one Config } for 3
+`
+	results := run(t, src)
+	if !results[0].Sat || !results[1].Sat {
+		t.Error("lone sig admits zero and one atom")
+	}
+	src2 := `
+lone sig Config {}
+run { #Config > 1 } for 3
+`
+	if run(t, src2)[0].Sat {
+		t.Error("lone sig cannot have two atoms")
+	}
+}
+
+func TestSomeSigSemantics(t *testing.T) {
+	src := `
+some sig Pool {}
+run { no Pool } for 3
+`
+	if run(t, src)[0].Sat {
+		t.Error("some sig must be non-empty")
+	}
+}
+
+func TestSessionScopeReuse(t *testing.T) {
+	// Several commands with the same scope share one incremental solver;
+	// verdicts must still be independent and correct.
+	src := `
+sig Node { next: lone Node }
+fact NoSelf { all n: Node | n not in n.next }
+run { some next } for 3
+run { some n: Node | n in n.next } for 3
+assert A { no n: Node | n in n.next }
+check A for 3
+run { #Node = 3 } for 3
+`
+	results := run(t, src)
+	wantSat := []bool{true, false, false, true}
+	for i, r := range results {
+		if r.Sat != wantSat[i] {
+			t.Errorf("command %d: sat=%v, want %v", i, r.Sat, wantSat[i])
+		}
+	}
+}
+
+func TestQuantifierInOperandPosition(t *testing.T) {
+	src := `
+sig S { f: set S }
+fact { some S implies some x: S | no x.f }
+run { some S } for 3
+`
+	res := run(t, src)[0]
+	if !res.Sat {
+		t.Fatal("expected SAT")
+	}
+	// The fact must actually constrain: every instance with S non-empty has
+	// an element with no outgoing f.
+	src2 := `
+sig S { f: set S }
+fact { some S implies some x: S | no x.f }
+run { some S and all x: S | some x.f } for 3
+`
+	if run(t, src2)[0].Sat {
+		t.Error("the implication body must bind the quantifier to the right")
+	}
+}

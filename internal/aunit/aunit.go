@@ -1,0 +1,206 @@
+// Package aunit implements AUnit-style unit tests for Alloy models: a test
+// fixes a concrete valuation of every relation and asserts that a formula
+// (typically a predicate call, fact conjunction, or their negation) holds or
+// fails under it. ARepair consumes suites of these tests as its repair
+// oracle, and ICEBAR grows suites from analyzer counterexamples.
+package aunit
+
+import (
+	"fmt"
+	"sort"
+
+	"specrepair/internal/alloy/ast"
+	"specrepair/internal/alloy/parser"
+	"specrepair/internal/alloy/types"
+	"specrepair/internal/bounds"
+	"specrepair/internal/instance"
+)
+
+// FactsFormula is the sentinel formula meaning "the conjunction of the
+// facts of whichever model the test runs against". ICEBAR's
+// counterexample-derived tests use it so that candidate repairs are judged
+// by their own facts, exactly like an AUnit run command would be.
+const FactsFormula = "$facts"
+
+// Test is one AUnit test case.
+type Test struct {
+	Name string `json:"name"`
+	// Valuation maps relation names to tuples of atom names. Relations of
+	// the model that are absent are empty in the test's instance.
+	Valuation map[string][][]string `json:"valuation"`
+	// Formula is the asserted formula source (parsed on demand so tests
+	// stay printable and serializable). The FactsFormula sentinel denotes
+	// the running model's fact conjunction.
+	Formula string `json:"formula"`
+	// Expect is the required outcome of Formula under Valuation.
+	Expect bool `json:"expect"`
+}
+
+// Result is the outcome of running one test.
+type Result struct {
+	Test   *Test
+	Passed bool
+	Err    error
+}
+
+// Suite is an ordered collection of tests.
+type Suite struct {
+	Tests []*Test
+}
+
+// Add appends a test.
+func (s *Suite) Add(t *Test) { s.Tests = append(s.Tests, t) }
+
+// Len returns the number of tests.
+func (s *Suite) Len() int { return len(s.Tests) }
+
+// Clone returns a shallow copy of the suite (tests are immutable by
+// convention).
+func (s *Suite) Clone() *Suite {
+	return &Suite{Tests: append([]*Test(nil), s.Tests...)}
+}
+
+// Run evaluates one test against a model. A test passes when the formula
+// evaluates without error to the expected boolean.
+func (t *Test) Run(mod *ast.Module) Result {
+	passed, err := t.eval(mod)
+	if err != nil {
+		return Result{Test: t, Passed: false, Err: err}
+	}
+	return Result{Test: t, Passed: passed}
+}
+
+// Instance materializes the test's valuation as a concrete instance over
+// the model's relations (absent relations are empty).
+func (t *Test) Instance(info *types.Info) (*instance.Instance, error) {
+	// Universe: all atoms mentioned anywhere in the valuation, sorted for
+	// determinism.
+	atomSet := map[string]bool{}
+	for _, tuples := range t.Valuation {
+		for _, tu := range tuples {
+			for _, a := range tu {
+				atomSet[a] = true
+			}
+		}
+	}
+	atoms := make([]string, 0, len(atomSet))
+	for a := range atomSet {
+		atoms = append(atoms, a)
+	}
+	sort.Strings(atoms)
+	u, err := bounds.NewUniverse(atoms)
+	if err != nil {
+		return nil, fmt.Errorf("test %s: %w", t.Name, err)
+	}
+
+	inst := instance.New(u)
+	// Seed every model relation as empty with its checked arity, so the
+	// evaluator never sees an unbound name.
+	for _, name := range info.SigOrder {
+		inst.Rels[name] = bounds.NewTupleSet(1)
+	}
+	for _, name := range info.FieldOrder {
+		inst.Rels[name] = bounds.NewTupleSet(info.Fields[name].Arity)
+	}
+	for name := range info.Primed {
+		if f, ok := info.Fields[name]; ok {
+			inst.Rels[name+"'"] = bounds.NewTupleSet(f.Arity)
+		} else {
+			inst.Rels[name+"'"] = bounds.NewTupleSet(1)
+		}
+	}
+	for name, tuples := range t.Valuation {
+		var arity int
+		switch {
+		case len(tuples) > 0:
+			arity = len(tuples[0])
+		case inst.Rels[name].Arity() > 0:
+			arity = inst.Rels[name].Arity()
+		default:
+			arity = 1
+		}
+		ts := bounds.NewTupleSet(arity)
+		for _, tu := range tuples {
+			idx := make(bounds.Tuple, len(tu))
+			for i, a := range tu {
+				idx[i] = u.IndexOf(a)
+			}
+			ts.Add(idx)
+		}
+		inst.Rels[name] = ts
+	}
+	return inst, nil
+}
+
+func (t *Test) eval(mod *ast.Module) (bool, error) {
+	low, info, err := types.Lower(mod)
+	if err != nil {
+		return false, fmt.Errorf("test %s: model does not check: %w", t.Name, err)
+	}
+	inst, err := t.Instance(info)
+	if err != nil {
+		return false, err
+	}
+
+	var expr ast.Expr
+	if t.Formula == FactsFormula {
+		blk := &ast.Block{}
+		for _, f := range low.Facts {
+			blk.Exprs = append(blk.Exprs, f.Body)
+		}
+		expr = blk
+	} else {
+		expr, err = parser.ParseExpr(t.Formula)
+		if err != nil {
+			return false, fmt.Errorf("test %s: parsing formula: %w", t.Name, err)
+		}
+		expr = types.RewriteCalls(low, expr)
+	}
+
+	ev := &instance.Evaluator{Mod: low, Inst: inst}
+	got, err := ev.EvalFormula(expr, nil)
+	if err != nil {
+		return false, fmt.Errorf("test %s: evaluating: %w", t.Name, err)
+	}
+	return got == t.Expect, nil
+}
+
+// RunAll evaluates the whole suite, returning individual results and the
+// number of passing tests.
+func (s *Suite) RunAll(mod *ast.Module) ([]Result, int) {
+	results := make([]Result, 0, len(s.Tests))
+	passed := 0
+	for _, t := range s.Tests {
+		r := t.Run(mod)
+		if r.Passed {
+			passed++
+		}
+		results = append(results, r)
+	}
+	return results, passed
+}
+
+// AllPass reports whether every test in the suite passes on the model.
+func (s *Suite) AllPass(mod *ast.Module) bool {
+	_, passed := s.RunAll(mod)
+	return passed == len(s.Tests)
+}
+
+// FromInstance converts an analyzer instance into a test asserting that
+// formula evaluates to expect under exactly that instance — the mechanism
+// ICEBAR uses to turn counterexamples into regression tests.
+func FromInstance(name string, inst *instance.Instance, formula string, expect bool) *Test {
+	val := map[string][][]string{}
+	for rel, ts := range inst.Rels {
+		var tuples [][]string
+		for _, tu := range ts.Tuples() {
+			names := make([]string, len(tu))
+			for i, a := range tu {
+				names[i] = inst.Universe.Atom(a)
+			}
+			tuples = append(tuples, names)
+		}
+		val[rel] = tuples
+	}
+	return &Test{Name: name, Valuation: val, Formula: formula, Expect: expect}
+}

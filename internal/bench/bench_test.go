@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"testing"
+
+	"specrepair/internal/alloy/parser"
+	"specrepair/internal/alloy/printer"
+	"specrepair/internal/analyzer"
+	"specrepair/internal/repair"
+)
+
+// TestGroundTruthsPassOracleAndTests validates every base model: it must
+// parse, pass its own property oracle, and pass its AUnit suite.
+func TestGroundTruthsPassOracleAndTests(t *testing.T) {
+	an := analyzer.New(analyzer.Options{})
+	for _, p := range append(a4fProfiles(), arepairProfiles()...) {
+		p := p
+		t.Run(p.benchmark+"/"+p.domain, func(t *testing.T) {
+			gt, err := parser.Parse(p.source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			ok, err := repair.OracleAllCommandsPass(an, gt)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			if !ok {
+				t.Fatal("ground truth fails its own oracle")
+			}
+			suite := p.tests()
+			if suite.Len() < 2 {
+				t.Fatalf("suite has %d tests, want >= 2", suite.Len())
+			}
+			results, passed := suite.RunAll(gt)
+			if passed != suite.Len() {
+				for _, r := range results {
+					if !r.Passed {
+						t.Errorf("test %s fails on ground truth (err=%v)", r.Test.Name, r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// scaledGenerator builds a small-but-representative corpus for tests.
+func scaledGenerator() *Generator {
+	g := NewGenerator(nil)
+	g.Scale = 40
+	return g
+}
+
+func TestGenerateScaledSuites(t *testing.T) {
+	g := scaledGenerator()
+	a4f, ar, err := g.Both()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scaled counts: ceil behaviour is min 1 per domain.
+	wantA4F := (999 / 40) + (138 / 40) + (283 / 40) + (249 / 40) + (61 / 40) + (206 / 40)
+	if len(a4f.Specs) != wantA4F {
+		t.Errorf("A4F scaled count = %d, want %d", len(a4f.Specs), wantA4F)
+	}
+	if len(ar.Specs) < 12 {
+		t.Errorf("ARepair scaled count = %d, want >= 12 (one per domain)", len(ar.Specs))
+	}
+	domains := ar.ByDomain()
+	if len(domains) != 12 {
+		t.Errorf("ARepair domains = %d, want 12", len(domains))
+	}
+}
+
+func TestGeneratedSpecsAreGenuinelyFaulty(t *testing.T) {
+	g := scaledGenerator()
+	an := analyzer.New(analyzer.Options{})
+	a4f, ar, err := g.Both()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range append(append([]*Spec(nil), a4f.Specs...), ar.Specs...) {
+		ok, err := repair.OracleAllCommandsPass(an, s.Faulty)
+		if err != nil {
+			t.Errorf("%s: faulty spec does not analyze: %v", s.Name, err)
+			continue
+		}
+		if ok {
+			t.Errorf("%s: faulty spec passes its oracle", s.Name)
+		}
+		if printer.Module(s.Faulty) == printer.Module(s.GroundTruth) {
+			t.Errorf("%s: faulty equals ground truth", s.Name)
+		}
+		eq, err := an.Equisat(s.GroundTruth, s.Faulty)
+		if err != nil {
+			t.Errorf("%s: equisat: %v", s.Name, err)
+			continue
+		}
+		if eq {
+			t.Errorf("%s: faulty spec is equisatisfiable with ground truth", s.Name)
+		}
+	}
+}
+
+func TestGeneratedSpecsCarryHints(t *testing.T) {
+	g := scaledGenerator()
+	ar, err := g.ARepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ar.Specs {
+		if s.Hints.Location == "" {
+			t.Errorf("%s: missing location hint", s.Name)
+		}
+		if s.Hints.FixDescription == "" {
+			t.Errorf("%s: missing fix description", s.Name)
+		}
+		if s.Tests == nil || s.Tests.Len() == 0 {
+			t.Errorf("%s: missing tests", s.Name)
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	g1, g2 := scaledGenerator(), scaledGenerator()
+	s1, err := g1.ARepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := g2.ARepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Specs) != len(s2.Specs) {
+		t.Fatalf("counts differ: %d vs %d", len(s1.Specs), len(s2.Specs))
+	}
+	for i := range s1.Specs {
+		if printer.Module(s1.Specs[i].Faulty) != printer.Module(s2.Specs[i].Faulty) {
+			t.Fatalf("spec %s differs across generations", s1.Specs[i].Name)
+		}
+	}
+}
+
+func TestGenerationCached(t *testing.T) {
+	g := scaledGenerator()
+	a, err := g.ARepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.ARepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second call should return the cached suite")
+	}
+}
+
+func TestSpecProblemIsolated(t *testing.T) {
+	g := scaledGenerator()
+	ar, err := g.ARepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ar.Specs[0]
+	p := s.Problem()
+	p.Faulty.Facts = nil
+	if len(s.Faulty.Facts) == 0 && len(s.GroundTruth.Facts) > 0 {
+		t.Error("Problem() must clone the faulty module")
+	}
+}

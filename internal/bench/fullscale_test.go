@@ -1,0 +1,54 @@
+package bench
+
+import "testing"
+
+// TestFullScaleCounts regenerates both suites at full scale and verifies the
+// paper's corpus sizes exactly. This is the slowest test in the repository
+// (~1 minute); skip it in -short runs.
+func TestFullScaleCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale benchmark generation is slow")
+	}
+	g := NewGenerator(nil)
+	a4f, ar, err := g.Both()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(a4f.Specs), 1936; got != want {
+		t.Errorf("A4F total = %d, want %d", got, want)
+	}
+	if got, want := len(ar.Specs), 38; got != want {
+		t.Errorf("ARepair total = %d, want %d", got, want)
+	}
+	wantA4F := map[string]int{
+		"classroom": 999, "cv": 138, "graphs": 283,
+		"lts": 249, "production": 61, "trash": 206,
+	}
+	for dom, want := range wantA4F {
+		if got := len(a4f.ByDomain()[dom]); got != want {
+			t.Errorf("A4F %s = %d, want %d", dom, got, want)
+		}
+	}
+	wantAR := map[string]int{
+		"addr": 1, "arr": 2, "balancedBSt": 3, "bempl": 1, "cd": 2, "ctree": 1,
+		"dll": 4, "farmer": 1, "fsm": 2, "grade": 1, "other": 1, "Student": 19,
+	}
+	for dom, want := range wantAR {
+		if got := len(ar.ByDomain()[dom]); got != want {
+			t.Errorf("ARepair %s = %d, want %d", dom, got, want)
+		}
+	}
+
+	// The overall deep-fault share stays low enough that single-edit repair
+	// techniques can plausibly fix the majority of the corpus, as in the
+	// paper's Table I.
+	deep := 0
+	for _, s := range a4f.Specs {
+		if s.Depth == 2 {
+			deep++
+		}
+	}
+	if share := float64(deep) / float64(len(a4f.Specs)); share > 0.45 {
+		t.Errorf("A4F deep share = %.2f, want <= 0.45", share)
+	}
+}

@@ -1,0 +1,596 @@
+package bench
+
+import "specrepair/internal/aunit"
+
+// a4fProfiles lists the six Alloy4Fun domains with the paper's per-domain
+// corpus sizes. The deepShare fractions encode each domain's share of
+// complex (multi-edit) faults, which is what separates iterative techniques
+// from single-shot ones on that domain.
+func a4fProfiles() []domainProfile {
+	return []domainProfile{
+		{benchmark: "A4F", domain: "classroom", source: classroomSrc, count: 999, deepShare: 0.30, tests: classroomTests},
+		{benchmark: "A4F", domain: "cv", source: cvSrc, count: 138, deepShare: 0.10, tests: cvTests},
+		{benchmark: "A4F", domain: "graphs", source: graphsSrc, count: 283, deepShare: 0.15, tests: graphsTests},
+		{benchmark: "A4F", domain: "lts", source: ltsSrc, count: 249, deepShare: 0.55, tests: ltsTests},
+		{benchmark: "A4F", domain: "production", source: productionSrc, count: 61, deepShare: 0.20, tests: productionTests},
+		{benchmark: "A4F", domain: "trash", source: trashSrc, count: 206, deepShare: 0.10, tests: trashTests},
+	}
+}
+
+// --------------------------------------------------------------------------
+// classroom: class registration with teachers, students and tutoring.
+// --------------------------------------------------------------------------
+
+const classroomSrc = `
+abstract sig Person {
+  tutors: set Person
+}
+sig Student extends Person {
+  enrolled: set Class,
+  mentor: lone Teacher
+}
+sig Teacher extends Person {
+  teaches: set Class
+}
+sig Class {
+  assigned: set Person
+}
+
+fact Teaching {
+  all c: Class | some t: Teacher | c in t.teaches
+  all c: Class | lone teaches.c
+  all t: Teacher, c: Class | c in t.teaches implies t in c.assigned
+}
+
+fact Tutoring {
+  all p: Person | p not in p.tutors
+  all s: Student | s.tutors in Teacher
+  all t: Teacher | t.tutors in Teacher
+  all s: Student | s.mentor in s.tutors
+  all s: Student | some s.tutors implies some s.mentor
+}
+
+fact Enrollment {
+  all s: Student, c: Class | c in s.enrolled implies s in c.assigned
+  all p: Person, c: Class | p in c.assigned implies p in Teacher + Student
+}
+
+assert EveryClassTaught {
+  all c: Class | some teaches.c
+}
+check EveryClassTaught for 3
+
+assert TutorsQualified {
+  all s: Student | s.tutors in Teacher
+}
+check TutorsQualified for 3
+
+assert NoSelfTutoring {
+  no p: Person | p in p.tutors
+}
+check NoSelfTutoring for 3
+
+assert TeachersAssigned {
+  all t: Teacher, c: t.teaches | t in c.assigned
+}
+check TeachersAssigned for 3
+
+assert EnrolledAssigned {
+  all s: Student | s.enrolled in assigned.s
+}
+check EnrolledAssigned for 3
+
+assert AssignedArePeople {
+  all c: Class | c.assigned in Teacher + Student
+}
+check AssignedArePeople for 3
+
+assert OneTeacherPerClass {
+  all c: Class | lone teaches.c
+}
+check OneTeacherPerClass for 3
+
+assert MentorIsTutor {
+  all s: Student | s.mentor in s.tutors
+}
+check MentorIsTutor for 3
+
+assert TutoredHaveMentor {
+  all s: Student | some s.tutors implies some s.mentor
+}
+check TutoredHaveMentor for 3
+
+run { some Student and some Teacher and some Class } for 3 expect 1
+run { some s: Student | some s.enrolled } for 3 expect 1
+run { some tutors } for 3 expect 1
+run { some mentor } for 3 expect 1
+`
+
+func classroomTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "classroom_valid",
+		Valuation: map[string][][]string{
+			"Person":   {{"T0"}, {"S0"}},
+			"Teacher":  {{"T0"}},
+			"Student":  {{"S0"}},
+			"Class":    {{"C0"}},
+			"teaches":  {{"T0", "C0"}},
+			"enrolled": {{"S0", "C0"}},
+			"assigned": {{"C0", "T0"}, {"C0", "S0"}},
+			"tutors":   {{"S0", "T0"}},
+			"mentor":   {{"S0", "T0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "classroom_untaught_class",
+		Valuation: map[string][][]string{
+			"Person":  {{"T0"}},
+			"Teacher": {{"T0"}},
+			"Class":   {{"C0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	s.Add(&aunit.Test{
+		Name: "classroom_self_tutor",
+		Valuation: map[string][][]string{
+			"Person":   {{"T0"}},
+			"Teacher":  {{"T0"}},
+			"Class":    {{"C0"}},
+			"teaches":  {{"T0", "C0"}},
+			"assigned": {{"C0", "T0"}},
+			"tutors":   {{"T0", "T0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// --------------------------------------------------------------------------
+// cv: curricula vitae — people, skills, and the jobs they hold.
+// --------------------------------------------------------------------------
+
+const cvSrc = `
+sig Applicant {
+  skills: set Skill,
+  holds: set Position
+}
+sig Skill {}
+sig Position {
+  requires: set Skill,
+  offeredBy: one Company
+}
+sig Company {
+  important: set Position
+}
+
+fact Qualified {
+  all a: Applicant, p: Position | p in a.holds implies p.requires in a.skills
+}
+
+fact Staffed {
+  all p: Position | lone holds.p
+  all a: Applicant | some a.skills
+}
+
+fact Offers {
+  all c: Company | c.important in offeredBy.c
+  all a: Applicant, p, q: a.holds | p = q or p.offeredBy != q.offeredBy
+}
+
+assert HoldersQualified {
+  all a: Applicant | a.holds.requires in a.skills
+}
+check HoldersQualified for 3
+
+assert SinglyStaffed {
+  all p: Position | lone holds.p
+}
+check SinglyStaffed for 3
+
+assert ImportantOffered {
+  all c: Company | c.important.offeredBy = c or no c.important
+}
+check ImportantOffered for 3
+
+assert OnePerCompany {
+  all a: Applicant | #a.holds.offeredBy = #a.holds
+}
+check OnePerCompany for 3
+
+run { some holds and some requires } for 3 expect 1
+run { some important } for 3 expect 1
+run { some a: Applicant | #a.holds > 1 } for 3 expect 1
+`
+
+func cvTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "cv_qualified_hire",
+		Valuation: map[string][][]string{
+			"Applicant": {{"A0"}},
+			"Skill":     {{"K0"}},
+			"Position":  {{"P0"}},
+			"skills":    {{"A0", "K0"}},
+			"holds":     {{"A0", "P0"}},
+			"requires":  {{"P0", "K0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "cv_unqualified_hire",
+		Valuation: map[string][][]string{
+			"Applicant": {{"A0"}},
+			"Skill":     {{"K0"}},
+			"Position":  {{"P0"}},
+			"holds":     {{"A0", "P0"}},
+			"requires":  {{"P0", "K0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// --------------------------------------------------------------------------
+// graphs: undirected, loop-free graph properties.
+// --------------------------------------------------------------------------
+
+const graphsSrc = `
+sig Vertex {
+  adj: set Vertex,
+  marked: set Vertex
+}
+
+fact Undirected {
+  adj = ~adj
+}
+
+fact NoLoops {
+  all v: Vertex | v not in v.adj
+}
+
+fact Marking {
+  all v: Vertex | v.marked in v.adj
+  all u, v: Vertex | v in u.marked implies u in v.marked
+}
+
+pred connected {
+  all u, v: Vertex | u != v implies v in u.^adj
+}
+
+pred isolated[v: Vertex] {
+  no v.adj
+}
+
+fact Structure {
+  some Vertex implies some v: Vertex | no v.marked
+  all v: Vertex | lone v.marked
+}
+
+sig Chosen in Vertex {}
+
+fact Independent {
+  all c: Chosen | no c.adj & Chosen
+}
+
+assert Symmetric {
+  all u, v: Vertex | v in u.adj implies u in v.adj
+}
+check Symmetric for 3
+
+assert Irreflexive {
+  no v: Vertex | v in v.adj
+}
+check Irreflexive for 3
+
+assert MarkedSubgraph {
+  all v: Vertex | v.marked in v.adj
+}
+check MarkedSubgraph for 3
+
+assert MarkedSymmetric {
+  all u, v: Vertex | v in u.marked implies u in v.marked
+}
+check MarkedSymmetric for 3
+
+assert MarkedLone {
+  all v: Vertex | lone v.marked
+}
+check MarkedLone for 3
+
+assert ChosenIndependent {
+  no disj a, b: Chosen | b in a.adj
+}
+check ChosenIndependent for 3
+
+run connected for 3 expect 1
+run isolated for 3 expect 1
+run { some adj } for 3 expect 1
+run { some Chosen and some adj } for 3 expect 1
+run { some marked } for 3 expect 1
+`
+
+func graphsTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "graphs_edge_pair",
+		Valuation: map[string][][]string{
+			"Vertex": {{"V0"}, {"V1"}},
+			"adj":    {{"V0", "V1"}, {"V1", "V0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "graphs_directed_edge",
+		Valuation: map[string][][]string{
+			"Vertex": {{"V0"}, {"V1"}},
+			"adj":    {{"V0", "V1"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	s.Add(&aunit.Test{
+		Name: "graphs_self_loop",
+		Valuation: map[string][][]string{
+			"Vertex": {{"V0"}},
+			"adj":    {{"V0", "V0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// --------------------------------------------------------------------------
+// lts: labeled transition systems — reachability from the initial state.
+// --------------------------------------------------------------------------
+
+const ltsSrc = `
+sig State {
+  trans: set State,
+  final: set State
+}
+one sig Init extends State {}
+
+fact AllReachable {
+  State = Init.*trans
+}
+
+fact Steps {
+  all s: State | s not in s.trans
+}
+
+fact Finality {
+  all s: State | s.final in s.trans
+  all s: State | lone s.final
+}
+
+pred deadlockFree {
+  all s: State | some s.trans or some final.s
+}
+
+pred terminating {
+  no s: State | s in s.^trans
+}
+
+assert InitReachesAll {
+  all s: State | s in Init.*trans
+}
+check InitReachesAll for 3
+
+assert NoSelfStep {
+  no s: State | s in s.trans
+}
+check NoSelfStep for 3
+
+assert FinalSuccessors {
+  all s: State | s.final in s.trans
+}
+check FinalSuccessors for 3
+
+run deadlockFree for 3 expect 1
+run terminating for 3 expect 1
+run { #State > 1 } for 3 expect 1
+`
+
+func ltsTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "lts_chain",
+		Valuation: map[string][][]string{
+			"State": {{"I0"}, {"S1"}},
+			"Init":  {{"I0"}},
+			"trans": {{"I0", "S1"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "lts_unreachable",
+		Valuation: map[string][][]string{
+			"State": {{"I0"}, {"S1"}},
+			"Init":  {{"I0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	s.Add(&aunit.Test{
+		Name: "lts_self_step",
+		Valuation: map[string][][]string{
+			"State": {{"I0"}},
+			"Init":  {{"I0"}},
+			"trans": {{"I0", "I0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// --------------------------------------------------------------------------
+// production: automated production lines — products built from components.
+// --------------------------------------------------------------------------
+
+const productionSrc = `
+abstract sig Resource {}
+sig Component extends Resource {
+  parts: set Component
+}
+sig Product extends Resource {
+  made: set Component
+}
+sig Machine {
+  builds: set Product
+}
+
+fact Assembly {
+  all p: Product | some p.made
+  no c: Component | c in c.^parts
+}
+
+fact Lines {
+  all p: Product | some builds.p
+  all m: Machine | lone m.builds
+}
+
+assert NoCircularParts {
+  all c: Component | c not in c.parts
+}
+check NoCircularParts for 3
+
+assert EveryProductBuilt {
+  all p: Product | some builds.p
+}
+check EveryProductBuilt for 3
+
+assert MachinesFocused {
+  all m: Machine | lone m.builds
+}
+check MachinesFocused for 3
+
+run { some Product and some Component } for 3 expect 1
+run { some builds } for 3 expect 1
+`
+
+func productionTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "production_assembled",
+		Valuation: map[string][][]string{
+			"Resource":  {{"P0"}, {"C0"}},
+			"Product":   {{"P0"}},
+			"Component": {{"C0"}},
+			"made":      {{"P0", "C0"}},
+			"Machine":   {{"M0"}},
+			"builds":    {{"M0", "P0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "production_unassembled",
+		Valuation: map[string][][]string{
+			"Resource": {{"P0"}},
+			"Product":  {{"P0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	s.Add(&aunit.Test{
+		Name: "production_part_cycle",
+		Valuation: map[string][][]string{
+			"Resource":  {{"C0"}},
+			"Component": {{"C0"}},
+			"parts":     {{"C0", "C0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// --------------------------------------------------------------------------
+// trash: file-system trash can with delete and restore operations.
+// --------------------------------------------------------------------------
+
+const trashSrc = `
+sig File {}
+one sig FS {
+  live: set File,
+  trashed: set File
+}
+
+fact Partition {
+  no FS.live & FS.trashed
+  File = FS.live + FS.trashed
+  some File implies some FS.live
+}
+
+pred delete[f: File] {
+  f in FS.live
+  FS.live' = FS.live - f
+  FS.trashed' = FS.trashed + f
+}
+
+pred restore[f: File] {
+  f in FS.trashed
+  FS.live' = FS.live + f
+  FS.trashed' = FS.trashed - f
+}
+
+assert NoFileLost {
+  all f: File | f in FS.live + FS.trashed
+}
+check NoFileLost for 3
+
+assert LiveNotTrashed {
+  no FS.live & FS.trashed
+}
+check LiveNotTrashed for 3
+
+run delete for 3 expect 1
+run restore for 3 expect 1
+`
+
+func trashTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "trash_partitioned",
+		Valuation: map[string][][]string{
+			"File":    {{"F0"}, {"F1"}},
+			"FS":      {{"FS0"}},
+			"live":    {{"FS0", "F0"}},
+			"trashed": {{"FS0", "F1"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "trash_double_booked",
+		Valuation: map[string][][]string{
+			"File":    {{"F0"}},
+			"FS":      {{"FS0"}},
+			"live":    {{"FS0", "F0"}},
+			"trashed": {{"FS0", "F0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	s.Add(&aunit.Test{
+		Name: "trash_orphan_file",
+		Valuation: map[string][][]string{
+			"File": {{"F0"}},
+			"FS":   {{"FS0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}

@@ -1,0 +1,667 @@
+package bench
+
+import "specrepair/internal/aunit"
+
+// arepairProfiles lists the twelve ARepair-benchmark problems with the
+// paper's per-problem counts of faulty variants (38 in total). Problems the
+// paper's discussion singles out as requiring nuanced multi-step reasoning
+// (farmer, ctree) carry a full deep share.
+func arepairProfiles() []domainProfile {
+	return []domainProfile{
+		{benchmark: "ARepair", domain: "addr", source: addrSrc, count: 1, deepShare: 0, tests: addrTests},
+		{benchmark: "ARepair", domain: "arr", source: arrSrc, count: 2, deepShare: 0, tests: arrTests},
+		{benchmark: "ARepair", domain: "balancedBSt", source: bstSrc, count: 3, deepShare: 0.34, tests: bstTests},
+		{benchmark: "ARepair", domain: "bempl", source: bemplSrc, count: 1, deepShare: 0, tests: bemplTests},
+		{benchmark: "ARepair", domain: "cd", source: cdSrc, count: 2, deepShare: 0, tests: cdTests},
+		{benchmark: "ARepair", domain: "ctree", source: ctreeSrc, count: 1, deepShare: 1.0, tests: ctreeTests},
+		{benchmark: "ARepair", domain: "dll", source: dllSrc, count: 4, deepShare: 0.25, tests: dllTests},
+		{benchmark: "ARepair", domain: "farmer", source: farmerSrc, count: 1, deepShare: 1.0, tests: farmerTests},
+		{benchmark: "ARepair", domain: "fsm", source: fsmSrc, count: 2, deepShare: 0.5, tests: fsmTests},
+		{benchmark: "ARepair", domain: "grade", source: gradeSrc, count: 1, deepShare: 0, tests: gradeTests},
+		{benchmark: "ARepair", domain: "other", source: otherSrc, count: 1, deepShare: 0, tests: otherTests},
+		{benchmark: "ARepair", domain: "Student", source: studentSrc, count: 19, deepShare: 0.3, tests: studentTests},
+	}
+}
+
+// addr: an address book mapping names to at most one address each.
+const addrSrc = `
+sig Name {}
+sig Addr {}
+one sig Book {
+  entries: Name -> lone Addr
+}
+
+fact NonEmpty {
+  all n: Name | some Book.entries[n]
+}
+
+assert EveryNameResolved {
+  all n: Name | some n.(Book.entries)
+}
+check EveryNameResolved for 3
+
+run { some Book.entries } for 3 expect 1
+`
+
+func addrTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "addr_resolved",
+		Valuation: map[string][][]string{
+			"Name":    {{"N0"}},
+			"Addr":    {{"A0"}},
+			"Book":    {{"B0"}},
+			"entries": {{"B0", "N0", "A0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "addr_dangling",
+		Valuation: map[string][][]string{
+			"Name": {{"N0"}},
+			"Addr": {{"A0"}},
+			"Book": {{"B0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// arr: a bounded array whose elements are held in index order.
+const arrSrc = `
+sig Element {}
+sig Index {
+  next: lone Index,
+  at: lone Element
+}
+
+fact Shape {
+  no i: Index | i in i.^next
+  all i: Index | some i.next.at implies some i.at
+}
+
+assert Packed {
+  all i: Index | some i.next.at implies some i.at
+}
+check Packed for 3
+
+run { some at } for 3 expect 1
+`
+
+func arrTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "arr_packed",
+		Valuation: map[string][][]string{
+			"Element": {{"E0"}},
+			"Index":   {{"I0"}, {"I1"}},
+			"next":    {{"I0", "I1"}},
+			"at":      {{"I0", "E0"}, {"I1", "E0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "arr_cycle",
+		Valuation: map[string][][]string{
+			"Element": {},
+			"Index":   {{"I0"}},
+			"next":    {{"I0", "I0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// balancedBSt: a binary search tree shape with parent/child constraints.
+const bstSrc = `
+sig Node {
+  left: lone Node,
+  right: lone Node
+}
+one sig Root extends Node {}
+
+fact Tree {
+  no n: Node | n in n.^(left + right)
+  all n: Node | lone (left + right).n
+  all n: Node | no n.left & n.right
+  Node = Root.*(left + right)
+}
+
+assert Acyclic {
+  no n: Node | n in n.^(left + right)
+}
+check Acyclic for 3
+
+assert SingleParent {
+  all n: Node | lone (left + right).n
+}
+check SingleParent for 3
+
+run { some left or some right } for 3 expect 1
+`
+
+func bstTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "bst_two_children",
+		Valuation: map[string][][]string{
+			"Node":  {{"R0"}, {"N1"}, {"N2"}},
+			"Root":  {{"R0"}},
+			"left":  {{"R0", "N1"}},
+			"right": {{"R0", "N2"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "bst_shared_child",
+		Valuation: map[string][][]string{
+			"Node":  {{"R0"}, {"N1"}},
+			"Root":  {{"R0"}},
+			"left":  {{"R0", "N1"}},
+			"right": {{"R0", "N1"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	s.Add(&aunit.Test{
+		Name: "bst_orphan",
+		Valuation: map[string][][]string{
+			"Node": {{"R0"}, {"N1"}},
+			"Root": {{"R0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// bempl: employees and the branches they work for.
+const bemplSrc = `
+sig Branch {}
+sig Employee {
+  worksFor: one Branch,
+  manages: set Employee
+}
+
+fact Management {
+  all e: Employee | e not in e.^manages
+  all e, m: Employee | e in m.manages implies e.worksFor = m.worksFor
+}
+
+assert SameBranch {
+  all m: Employee, e: m.manages | e.worksFor = m.worksFor
+}
+check SameBranch for 3
+
+run { some manages } for 3 expect 1
+`
+
+func bemplTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "bempl_team",
+		Valuation: map[string][][]string{
+			"Branch":   {{"B0"}},
+			"Employee": {{"M0"}, {"E0"}},
+			"worksFor": {{"M0", "B0"}, {"E0", "B0"}},
+			"manages":  {{"M0", "E0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "bempl_cross_branch",
+		Valuation: map[string][][]string{
+			"Branch":   {{"B0"}, {"B1"}},
+			"Employee": {{"M0"}, {"E0"}},
+			"worksFor": {{"M0", "B0"}, {"E0", "B1"}},
+			"manages":  {{"M0", "E0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// cd: class-diagram inheritance without cycles and with single parents.
+const cdSrc = `
+sig ClassDecl {
+  ext: lone ClassDecl
+}
+
+fact Inheritance {
+  no c: ClassDecl | c in c.^ext
+}
+
+assert NoSelfInherit {
+  all c: ClassDecl | c != c.ext
+}
+check NoSelfInherit for 3
+
+run { some ext } for 3 expect 1
+`
+
+func cdTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "cd_linear",
+		Valuation: map[string][][]string{
+			"ClassDecl": {{"C0"}, {"C1"}},
+			"ext":       {{"C0", "C1"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "cd_self",
+		Valuation: map[string][][]string{
+			"ClassDecl": {{"C0"}},
+			"ext":       {{"C0", "C0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// ctree: a rooted tree where every non-root has exactly one parent.
+const ctreeSrc = `
+sig TNode {
+  children: set TNode
+}
+one sig TRoot extends TNode {}
+
+fact TreeShape {
+  no n: TNode | n in n.^children
+  all n: TNode - TRoot | one children.n
+  no children.TRoot
+  TNode = TRoot.*children
+}
+
+assert RootedTree {
+  all n: TNode | n in TRoot.*children
+}
+check RootedTree for 3
+
+run { some children } for 3 expect 1
+`
+
+func ctreeTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "ctree_two_level",
+		Valuation: map[string][][]string{
+			"TNode":    {{"R0"}, {"N1"}},
+			"TRoot":    {{"R0"}},
+			"children": {{"R0", "N1"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "ctree_root_with_parent",
+		Valuation: map[string][][]string{
+			"TNode":    {{"R0"}, {"N1"}},
+			"TRoot":    {{"R0"}},
+			"children": {{"R0", "N1"}, {"N1", "R0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// dll: doubly linked list where prev mirrors next.
+const dllSrc = `
+sig Cell {
+  nxt: lone Cell,
+  prv: lone Cell
+}
+
+fact Linking {
+  all a, b: Cell | b = a.nxt implies a = b.prv
+  all a, b: Cell | a = b.prv implies b = a.nxt
+  no c: Cell | c in c.^nxt
+}
+
+assert Mirror {
+  all c: Cell | all d: c.nxt | c in d.prv
+}
+check Mirror for 3
+
+assert NoCycle {
+  no c: Cell | c in c.^nxt
+}
+check NoCycle for 3
+
+run { some nxt } for 3 expect 1
+`
+
+func dllTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "dll_pair",
+		Valuation: map[string][][]string{
+			"Cell": {{"C0"}, {"C1"}},
+			"nxt":  {{"C0", "C1"}},
+			"prv":  {{"C1", "C0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "dll_unmirrored",
+		Valuation: map[string][][]string{
+			"Cell": {{"C0"}, {"C1"}},
+			"nxt":  {{"C0", "C1"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	s.Add(&aunit.Test{
+		Name: "dll_cycle",
+		Valuation: map[string][][]string{
+			"Cell": {{"C0"}},
+			"nxt":  {{"C0", "C0"}},
+			"prv":  {{"C0", "C0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// farmer: the river-crossing puzzle's safety invariant — the pre/post
+// structure is what makes its faults need stateful reasoning.
+const farmerSrc = `
+abstract sig Object {}
+one sig Farmer, Fox, Chicken, Grain extends Object {}
+one sig Boat {
+  near: set Object,
+  far: set Object
+}
+
+fact Sides {
+  no Boat.near & Boat.far
+  Object = Boat.near + Boat.far
+  Farmer in Boat.near or Farmer not in Boat.far
+}
+
+fact Safety {
+  Fox + Chicken in Boat.near implies Farmer in Boat.near
+  Chicken + Grain in Boat.far implies Farmer in Boat.far
+}
+
+pred cross[o: Object] {
+  o in Boat.near
+  Farmer in Boat.near
+  Boat.near' = Boat.near - o - Farmer
+  Boat.far' = Boat.far + o + Farmer
+}
+
+assert NothingEaten {
+  Fox + Chicken in Boat.near implies Farmer in Boat.near
+}
+check NothingEaten for 4
+
+run cross for 4 expect 1
+`
+
+func farmerTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "farmer_guarded",
+		Valuation: map[string][][]string{
+			"Object":  {{"F"}, {"X"}, {"C"}, {"G"}},
+			"Farmer":  {{"F"}},
+			"Fox":     {{"X"}},
+			"Chicken": {{"C"}},
+			"Grain":   {{"G"}},
+			"Boat":    {{"B"}},
+			"near":    {{"B", "F"}, {"B", "X"}, {"B", "C"}},
+			"far":     {{"B", "G"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "farmer_fox_alone_with_chicken",
+		Valuation: map[string][][]string{
+			"Object":  {{"F"}, {"X"}, {"C"}, {"G"}},
+			"Farmer":  {{"F"}},
+			"Fox":     {{"X"}},
+			"Chicken": {{"C"}},
+			"Grain":   {{"G"}},
+			"Boat":    {{"B"}},
+			"near":    {{"B", "X"}, {"B", "C"}},
+			"far":     {{"B", "F"}, {"B", "G"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// fsm: a finite state machine with unique start and final states.
+const fsmSrc = `
+sig FsmState {
+  step: set FsmState
+}
+one sig Start extends FsmState {}
+one sig Final extends FsmState {}
+
+fact Machine {
+  no Start & Final
+  all s: FsmState | Final in s.*step
+  no Final.step
+  FsmState = Start.*step
+}
+
+assert FinalReachable {
+  all s: FsmState | Final in s.*step
+}
+check FinalReachable for 3
+
+run { some step } for 3 expect 1
+`
+
+func fsmTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "fsm_line",
+		Valuation: map[string][][]string{
+			"FsmState": {{"S0"}, {"F0"}},
+			"Start":    {{"S0"}},
+			"Final":    {{"F0"}},
+			"step":     {{"S0", "F0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "fsm_stuck",
+		Valuation: map[string][][]string{
+			"FsmState": {{"S0"}, {"F0"}},
+			"Start":    {{"S0"}},
+			"Final":    {{"F0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// grade: students, assignments, and at most one grade per pair.
+const gradeSrc = `
+sig Pupil {}
+sig Task {}
+sig Mark {}
+one sig Ledger {
+  scored: Pupil -> Task -> lone Mark
+}
+
+fact Completeness {
+  all p: Pupil, t: Task | some Ledger.scored[p][t]
+}
+
+assert AllScored {
+  all p: Pupil, t: Task | some Ledger.scored[p][t]
+}
+check AllScored for 2
+
+run { some Ledger.scored } for 2 expect 1
+`
+
+func gradeTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "grade_scored",
+		Valuation: map[string][][]string{
+			"Pupil":  {{"P0"}},
+			"Task":   {{"T0"}},
+			"Mark":   {{"M0"}},
+			"Ledger": {{"L0"}},
+			"scored": {{"L0", "P0", "T0", "M0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "grade_missing",
+		Valuation: map[string][][]string{
+			"Pupil":  {{"P0"}},
+			"Task":   {{"T0"}},
+			"Mark":   {{"M0"}},
+			"Ledger": {{"L0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// other: a coloring constraint over a small relation.
+const otherSrc = `
+sig Item {
+  rel: set Item
+}
+sig Red in Item {}
+
+fact Coloring {
+  all i: Item | i in Red implies no (i.rel & Red)
+}
+
+assert NoRedPair {
+  no disj a, b: Red | b in a.rel
+}
+check NoRedPair for 3
+
+run { some Red and some rel } for 3 expect 1
+`
+
+func otherTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "other_valid_coloring",
+		Valuation: map[string][][]string{
+			"Item": {{"I0"}, {"I1"}},
+			"Red":  {{"I0"}},
+			"rel":  {{"I0", "I1"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "other_red_conflict",
+		Valuation: map[string][][]string{
+			"Item": {{"I0"}, {"I1"}},
+			"Red":  {{"I0"}, {"I1"}},
+			"rel":  {{"I0", "I1"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// Student: a registrar model rich enough to supply 19 distinct faults.
+const studentSrc = `
+sig Undergrad {
+  takes: set Course,
+  completed: set Course
+}
+sig Course {
+  prereqs: set Course,
+  capacity: set Undergrad
+}
+
+fact Registration {
+  all u: Undergrad, c: Course | c in u.takes implies c.prereqs in u.completed
+  all u: Undergrad, c: Course | c in u.takes implies u in c.capacity
+  all u: Undergrad | no u.takes & u.completed
+  no c: Course | c in c.^prereqs
+}
+
+fact Enrollment {
+  all c: Course | c.capacity in takes.c + completed.c
+}
+
+assert PrereqsMet {
+  all u: Undergrad | u.takes.prereqs in u.completed
+}
+check PrereqsMet for 3
+
+assert NoPrereqCycle {
+  no c: Course | c in c.^prereqs
+}
+check NoPrereqCycle for 3
+
+run { some takes and some prereqs } for 3 expect 1
+`
+
+func studentTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "student_ready",
+		Valuation: map[string][][]string{
+			"Undergrad": {{"U0"}},
+			"Course":    {{"C0"}, {"C1"}},
+			"takes":     {{"U0", "C0"}},
+			"completed": {{"U0", "C1"}},
+			"prereqs":   {{"C0", "C1"}},
+			"capacity":  {{"C0", "U0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "student_missing_prereq",
+		Valuation: map[string][][]string{
+			"Undergrad": {{"U0"}},
+			"Course":    {{"C0"}, {"C1"}},
+			"takes":     {{"U0", "C0"}},
+			"prereqs":   {{"C0", "C1"}},
+			"capacity":  {{"C0", "U0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	s.Add(&aunit.Test{
+		Name: "student_take_completed",
+		Valuation: map[string][][]string{
+			"Undergrad": {{"U0"}},
+			"Course":    {{"C0"}},
+			"takes":     {{"U0", "C0"}},
+			"completed": {{"U0", "C0"}},
+			"capacity":  {{"C0", "U0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}

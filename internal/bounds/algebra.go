@@ -1,0 +1,214 @@
+package bounds
+
+import "fmt"
+
+// Union returns ts ∪ o. Arity must match (empty sets adapt).
+func (ts TupleSet) Union(o TupleSet) TupleSet {
+	arity := ts.arity
+	if ts.IsEmpty() {
+		arity = o.arity
+	}
+	out := NewTupleSet(arity)
+	for k := range ts.set {
+		out.set[k] = struct{}{}
+	}
+	for k := range o.set {
+		out.set[k] = struct{}{}
+	}
+	return out
+}
+
+// Intersect returns ts ∩ o.
+func (ts TupleSet) Intersect(o TupleSet) TupleSet {
+	out := NewTupleSet(ts.arity)
+	for k := range ts.set {
+		if _, ok := o.set[k]; ok {
+			out.set[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Diff returns ts ∖ o.
+func (ts TupleSet) Diff(o TupleSet) TupleSet {
+	out := NewTupleSet(ts.arity)
+	for k := range ts.set {
+		if _, ok := o.set[k]; !ok {
+			out.set[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Product returns the cross product ts × o.
+func (ts TupleSet) Product(o TupleSet) TupleSet {
+	if ts.arity+o.arity > MaxArity {
+		panic(fmt.Sprintf("bounds: product arity %d exceeds max %d", ts.arity+o.arity, MaxArity))
+	}
+	out := NewTupleSet(ts.arity + o.arity)
+	for _, a := range ts.Tuples() {
+		for _, b := range o.Tuples() {
+			t := make(Tuple, 0, len(a)+len(b))
+			t = append(t, a...)
+			t = append(t, b...)
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Join returns the relational join ts.o: tuples (a1..an-1, b2..bm) for each
+// (a..an) in ts and (b1..bm) in o with an == b1.
+func (ts TupleSet) Join(o TupleSet) TupleSet {
+	if ts.arity+o.arity-2 < 1 {
+		panic("bounds: join arity underflow")
+	}
+	out := NewTupleSet(ts.arity + o.arity - 2)
+	// Index o by first atom.
+	byFirst := map[int][]Tuple{}
+	for _, b := range o.Tuples() {
+		byFirst[b[0]] = append(byFirst[b[0]], b)
+	}
+	for _, a := range ts.Tuples() {
+		last := a[len(a)-1]
+		for _, b := range byFirst[last] {
+			t := make(Tuple, 0, len(a)+len(b)-2)
+			t = append(t, a[:len(a)-1]...)
+			t = append(t, b[1:]...)
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Transpose returns ~ts for a binary set.
+func (ts TupleSet) Transpose() TupleSet {
+	if ts.arity != 2 {
+		panic("bounds: transpose of non-binary set")
+	}
+	out := NewTupleSet(2)
+	for _, t := range ts.Tuples() {
+		out.Add(Tuple{t[1], t[0]})
+	}
+	return out
+}
+
+// Closure returns the transitive closure ^ts of a binary set.
+func (ts TupleSet) Closure() TupleSet {
+	if ts.arity != 2 {
+		panic("bounds: closure of non-binary set")
+	}
+	cur := ts.Clone()
+	for {
+		next := cur.Union(cur.Join(cur))
+		if next.Len() == cur.Len() {
+			return next
+		}
+		cur = next
+	}
+}
+
+// ReflClosure returns *ts = ^ts ∪ iden over the atoms listed.
+func (ts TupleSet) ReflClosure(univAtoms []int) TupleSet {
+	out := ts.Closure()
+	for _, a := range univAtoms {
+		out.Add(Tuple{a, a})
+	}
+	return out
+}
+
+// Override returns ts ++ o: o's tuples plus those of ts whose first atom is
+// not a first atom of any o tuple.
+func (ts TupleSet) Override(o TupleSet) TupleSet {
+	dom := map[int]bool{}
+	for _, t := range o.Tuples() {
+		dom[t[0]] = true
+	}
+	out := o.Clone()
+	if out.set == nil || (out.IsEmpty() && ts.arity != 0) {
+		out = NewTupleSet(ts.arity)
+	}
+	for _, t := range ts.Tuples() {
+		if !dom[t[0]] {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// DomRestr returns s <: ts — tuples whose first atom is in the unary set s.
+func (ts TupleSet) DomRestr(s TupleSet) TupleSet {
+	if s.arity != 1 {
+		panic("bounds: domain restriction by non-unary set")
+	}
+	out := NewTupleSet(ts.arity)
+	for _, t := range ts.Tuples() {
+		if s.Contains(Tuple{t[0]}) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// RanRestr returns ts :> s — tuples whose last atom is in the unary set s.
+func (ts TupleSet) RanRestr(s TupleSet) TupleSet {
+	if s.arity != 1 {
+		panic("bounds: range restriction by non-unary set")
+	}
+	out := NewTupleSet(ts.arity)
+	for _, t := range ts.Tuples() {
+		if s.Contains(Tuple{t[len(t)-1]}) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Project returns the unary set of atoms at the given column.
+func (ts TupleSet) Project(col int) TupleSet {
+	out := NewTupleSet(1)
+	for _, t := range ts.Tuples() {
+		out.Add(Tuple{t[col]})
+	}
+	return out
+}
+
+// Iden returns the identity relation over the given atom indices.
+func Iden(atoms []int) TupleSet {
+	out := NewTupleSet(2)
+	for _, a := range atoms {
+		out.Add(Tuple{a, a})
+	}
+	return out
+}
+
+// AllTuples returns every tuple of the given arity over the atom indices.
+func AllTuples(atoms []int, arity int) TupleSet {
+	out := NewTupleSet(arity)
+	if arity == 0 {
+		return out
+	}
+	t := make(Tuple, arity)
+	var rec func(col int)
+	rec = func(col int) {
+		if col == arity {
+			out.Add(append(Tuple(nil), t...))
+			return
+		}
+		for _, a := range atoms {
+			t[col] = a
+			rec(col + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// UnarySet builds a unary tuple set from atom indices.
+func UnarySet(atoms ...int) TupleSet {
+	out := NewTupleSet(1)
+	for _, a := range atoms {
+		out.Add(Tuple{a})
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package bounds
+
+import (
+	"testing"
+
+	"specrepair/internal/alloy/ast"
+	"specrepair/internal/alloy/parser"
+	"specrepair/internal/alloy/types"
+)
+
+func buildFor(t *testing.T, src string, scope ast.Scope) (*Bounds, *types.Info) {
+	t.Helper()
+	mod, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := types.Lower(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(info, scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, info
+}
+
+const hierarchySrc = `
+abstract sig Animal { eats: set Animal }
+sig Cat extends Animal {}
+sig Dog extends Animal {}
+one sig Keeper { pets: set Animal }
+run {} for 3
+`
+
+func TestBuildBlocksAndUniverse(t *testing.T) {
+	b, _ := buildFor(t, hierarchySrc, ast.Scope{Default: 3})
+	// Top-level sigs: Animal (block 3) and Keeper (one sig: block 1).
+	if got := len(b.Block["Animal"]); got != 3 {
+		t.Errorf("Animal block = %d, want 3", got)
+	}
+	if got := len(b.Block["Keeper"]); got != 1 {
+		t.Errorf("Keeper block = %d, want 1", got)
+	}
+	if _, ok := b.Block["Cat"]; ok {
+		t.Error("subsig Cat must not have its own block")
+	}
+	if b.Universe.Size() != 4 {
+		t.Errorf("universe = %d atoms, want 4", b.Universe.Size())
+	}
+	if b.TopOf["Cat"] != "Animal" || b.TopOf["Dog"] != "Animal" {
+		t.Errorf("TopOf = %v", b.TopOf)
+	}
+}
+
+func TestBuildSigBounds(t *testing.T) {
+	b, _ := buildFor(t, hierarchySrc, ast.Scope{Default: 3})
+	cat := b.Rels["Cat"]
+	animal := b.Rels["Animal"]
+	if !cat.Upper.SubsetOf(animal.Upper) {
+		t.Error("Cat upper must be within Animal upper")
+	}
+	if !cat.Lower.IsEmpty() {
+		t.Error("Cat lower must be empty (membership is variable)")
+	}
+	keeper := b.Rels["Keeper"]
+	if !keeper.Lower.Equal(keeper.Upper) || keeper.Lower.Len() != 1 {
+		t.Errorf("one sig Keeper should be pinned: lower=%v upper=%v",
+			keeper.Lower.Tuples(), keeper.Upper.Tuples())
+	}
+}
+
+func TestBuildFieldBounds(t *testing.T) {
+	b, _ := buildFor(t, hierarchySrc, ast.Scope{Default: 3})
+	eats := b.Rels["eats"]
+	if eats.Arity != 2 {
+		t.Fatalf("eats arity = %d", eats.Arity)
+	}
+	// eats ⊆ Animal x Animal: 3x3 = 9 tuples max.
+	if eats.Upper.Len() != 9 {
+		t.Errorf("eats upper = %d tuples, want 9", eats.Upper.Len())
+	}
+	pets := b.Rels["pets"]
+	if pets.Upper.Len() != 3 { // 1 Keeper x 3 Animal
+		t.Errorf("pets upper = %d tuples, want 3", pets.Upper.Len())
+	}
+}
+
+func TestBuildScopeOverrides(t *testing.T) {
+	b, _ := buildFor(t, hierarchySrc, ast.Scope{
+		Default: 4,
+		Exact:   map[string]int{"Animal": 2},
+		PerSig:  map[string]int{"Cat": 1},
+	})
+	if got := len(b.Block["Animal"]); got != 2 {
+		t.Errorf("exact Animal block = %d, want 2", got)
+	}
+	if sc := b.Sigs["Animal"]; !sc.Exact || sc.Size != 2 {
+		t.Errorf("Animal scope = %+v", sc)
+	}
+	if sc := b.Sigs["Cat"]; sc.Exact || sc.Size != 1 {
+		t.Errorf("Cat scope = %+v", sc)
+	}
+}
+
+func TestBuildPrimedShadow(t *testing.T) {
+	src := `
+sig S { f: set S }
+pred step { f' = f }
+run step for 2
+`
+	b, _ := buildFor(t, src, ast.Scope{Default: 2})
+	base, shadow := b.Rels["f"], b.Rels["f'"]
+	if shadow.Arity != base.Arity || !shadow.Upper.Equal(base.Upper) {
+		t.Error("primed shadow must mirror the base relation's bounds")
+	}
+}
+
+func TestBuildSubsetSigUpper(t *testing.T) {
+	src := `
+sig A {}
+sig B {}
+sig M in A + B {}
+run {} for 2
+`
+	b, _ := buildFor(t, src, ast.Scope{Default: 2})
+	m := b.Rels["M"]
+	want := b.Rels["A"].Upper.Union(b.Rels["B"].Upper)
+	if !m.Upper.Equal(want) {
+		t.Errorf("M upper = %v, want union of A and B blocks", m.Upper.Tuples())
+	}
+}
+
+func TestBuildDefaultScopeConstant(t *testing.T) {
+	b, _ := buildFor(t, hierarchySrc, ast.Scope{})
+	if got := len(b.Block["Animal"]); got != DefaultScope {
+		t.Errorf("default block = %d, want %d", got, DefaultScope)
+	}
+}
+
+func TestEvalUpperOperators(t *testing.T) {
+	src := `
+sig A { f: set A }
+sig B {}
+run {} for 2
+`
+	b, info := buildFor(t, src, ast.Scope{Default: 2})
+	for _, tt := range []struct {
+		expr  string
+		arity int
+		size  int
+	}{
+		{"A", 1, 2},
+		{"A + B", 1, 4},
+		{"A -> B", 2, 4},
+		{"univ", 1, 4},
+		{"none", 1, 0},
+		{"A -> A -> B", 3, 8},
+	} {
+		e, err := parser.ParseExpr(tt.expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := b.EvalUpper(e, info)
+		if err != nil {
+			t.Errorf("EvalUpper(%s): %v", tt.expr, err)
+			continue
+		}
+		if ts.Arity() != tt.arity || ts.Len() != tt.size {
+			t.Errorf("EvalUpper(%s) = arity %d size %d, want %d/%d",
+				tt.expr, ts.Arity(), ts.Len(), tt.arity, tt.size)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package core is the study's orchestration layer: the registry of all
+// twelve repair techniques under their paper configurations, a parallel
+// evaluation runner that scores every technique on every benchmark entry
+// (REP, TM, SM), and the hybrid-combination analysis of RQ3.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"specrepair/internal/alloy/printer"
+	"specrepair/internal/analyzer"
+	"specrepair/internal/bench"
+	"specrepair/internal/llm"
+	"specrepair/internal/metrics"
+	"specrepair/internal/repair"
+	"specrepair/internal/repair/arepair"
+	"specrepair/internal/repair/atr"
+	"specrepair/internal/repair/beafix"
+	"specrepair/internal/repair/icebar"
+	"specrepair/internal/repair/multiround"
+	"specrepair/internal/repair/singleround"
+)
+
+// TechniqueNames lists the twelve techniques in the paper's table order.
+var TechniqueNames = []string{
+	"ARepair", "ICEBAR", "BeAFix", "ATR",
+	"Single-Round_Loc+Fix", "Single-Round_Loc", "Single-Round_Pass",
+	"Single-Round_None", "Single-Round_Loc+Pass",
+	"Multi-Round_None", "Multi-Round_Generic", "Multi-Round_Auto",
+}
+
+// TraditionalNames lists the four traditional tools in table order.
+var TraditionalNames = TechniqueNames[:4]
+
+// LLMNames lists the eight LLM configurations in table order.
+var LLMNames = TechniqueNames[4:]
+
+// Factory builds a fresh technique instance. Instances are not required to
+// be safe for concurrent use, so the runner creates one per worker.
+type Factory struct {
+	Name string
+	New  func() repair.Technique
+}
+
+// searchBudgets keeps whole-benchmark runs tractable: the traditional
+// tools' candidate caps trade a little repair power for wall-clock time,
+// uniformly across techniques (the paper's tools have timeouts of the same
+// nature).
+const (
+	beafixMaxCandidates = 60
+	atrMaxCandidates    = 150
+)
+
+// StudyFactories returns the twelve techniques with the study's
+// configurations. The seed drives the simulated LLM.
+func StudyFactories(seed int64) []Factory {
+	newAnalyzer := func() *analyzer.Analyzer { return analyzer.New(analyzer.Options{}) }
+	fs := []Factory{
+		{Name: "ARepair", New: func() repair.Technique {
+			return arepair.New(arepair.Options{})
+		}},
+		{Name: "ICEBAR", New: func() repair.Technique {
+			opts := icebar.DefaultOptions()
+			opts.Analyzer = newAnalyzer()
+			return icebar.New(opts)
+		}},
+		{Name: "BeAFix", New: func() repair.Technique {
+			opts := beafix.DefaultOptions()
+			opts.MaxCandidates = beafixMaxCandidates
+			opts.Analyzer = newAnalyzer()
+			return beafix.New(opts)
+		}},
+		{Name: "ATR", New: func() repair.Technique {
+			opts := atr.DefaultOptions()
+			opts.MaxCandidates = atrMaxCandidates
+			opts.Analyzer = newAnalyzer()
+			return atr.New(opts)
+		}},
+	}
+	for _, setting := range singleround.Settings {
+		setting := setting
+		fs = append(fs, Factory{
+			Name: "Single-Round_" + setting.String(),
+			New: func() repair.Technique {
+				return singleround.New(singleround.Options{
+					Setting:  setting,
+					Client:   llm.NewSimulatedModel(seed),
+					Analyzer: newAnalyzer(),
+				})
+			},
+		})
+	}
+	for _, fb := range []llm.FeedbackKind{llm.FeedbackNone, llm.FeedbackGeneric, llm.FeedbackAuto} {
+		fb := fb
+		fs = append(fs, Factory{
+			Name: "Multi-Round_" + fb.String(),
+			New: func() repair.Technique {
+				return multiround.New(multiround.Options{
+					Feedback: fb,
+					Client:   llm.NewSimulatedModel(seed),
+					Analyzer: newAnalyzer(),
+				})
+			},
+		})
+	}
+	return fs
+}
+
+// FactoryByName finds a study factory.
+func FactoryByName(seed int64, name string) (Factory, error) {
+	for _, f := range StudyFactories(seed) {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Factory{}, fmt.Errorf("unknown technique %q", name)
+}
+
+// Result is one (technique, spec) evaluation record.
+type Result struct {
+	Spec      *bench.Spec
+	Technique string
+	Outcome   repair.Outcome
+	// REP is 1 when the candidate is equisatisfiable with the ground truth
+	// per the analyzer (independent of the tool's own claim).
+	REP int
+	// TM and SM compare the candidate (or the unmodified faulty spec when
+	// the tool produced nothing) to the ground truth.
+	TM  float64
+	SM  float64
+	Err error
+}
+
+// Evaluation holds the full grid of results for one benchmark suite.
+type Evaluation struct {
+	Suite *bench.Suite
+	// Results is keyed by technique name, then spec name.
+	Results map[string]map[string]*Result
+}
+
+// REPCount returns the number of REP=1 specs for a technique, optionally
+// restricted to one domain ("" for all).
+func (e *Evaluation) REPCount(technique, domain string) int {
+	n := 0
+	for _, r := range e.Results[technique] {
+		if r.REP == 1 && (domain == "" || r.Spec.Domain == domain) {
+			n++
+		}
+	}
+	return n
+}
+
+// RepairedSet returns the names of specs the technique repaired (REP=1).
+func (e *Evaluation) RepairedSet(technique string) map[string]bool {
+	out := map[string]bool{}
+	for name, r := range e.Results[technique] {
+		if r.REP == 1 {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// SimilarityVectors returns the per-spec TM and SM vectors of a technique
+// in deterministic spec order.
+func (e *Evaluation) SimilarityVectors(technique string) (tm, sm []float64) {
+	names := make([]string, 0, len(e.Results[technique]))
+	for n := range e.Results[technique] {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := e.Results[technique][n]
+		tm = append(tm, r.TM)
+		sm = append(sm, r.SM)
+	}
+	return tm, sm
+}
+
+// MeanSimilarity returns the mean TM and SM of a technique.
+func (e *Evaluation) MeanSimilarity(technique string) (tm, sm float64) {
+	tms, sms := e.SimilarityVectors(technique)
+	return metrics.Mean(tms), metrics.Mean(sms)
+}
+
+// Runner evaluates techniques over benchmark suites in parallel.
+type Runner struct {
+	// Workers is the parallelism degree (defaults to GOMAXPROCS).
+	Workers int
+	// Seed drives the simulated LLM.
+	Seed int64
+	// Progress, when non-nil, receives one call per completed (technique,
+	// spec) pair.
+	Progress func(technique, spec string, done, total int)
+}
+
+// Evaluate runs every factory over every spec of the suite.
+func (r *Runner) Evaluate(suite *bench.Suite, factories []Factory) (*Evaluation, error) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	eval := &Evaluation{Suite: suite, Results: map[string]map[string]*Result{}}
+	for _, f := range factories {
+		eval.Results[f.Name] = map[string]*Result{}
+	}
+
+	type job struct {
+		factory Factory
+		spec    *bench.Spec
+	}
+	jobs := make(chan job)
+	results := make(chan *Result)
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			an := analyzer.New(analyzer.Options{})
+			tools := map[string]repair.Technique{}
+			for j := range jobs {
+				tool, ok := tools[j.factory.Name]
+				if !ok {
+					tool = j.factory.New()
+					tools[j.factory.Name] = tool
+				}
+				results <- evaluateOne(an, tool, j.factory.Name, j.spec)
+			}
+		}()
+	}
+
+	go func() {
+		for _, f := range factories {
+			for _, s := range suite.Specs {
+				jobs <- job{factory: f, spec: s}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	total := len(factories) * len(suite.Specs)
+	done := 0
+	for res := range results {
+		eval.Results[res.Technique][res.Spec.Name] = res
+		done++
+		if r.Progress != nil {
+			r.Progress(res.Technique, res.Spec.Name, done, total)
+		}
+	}
+	return eval, nil
+}
+
+// evaluateOne runs one technique on one spec and scores the outcome.
+func evaluateOne(an *analyzer.Analyzer, tool repair.Technique, name string, spec *bench.Spec) *Result {
+	res := &Result{Spec: spec, Technique: name}
+	out, err := tool.Repair(spec.Problem())
+	res.Outcome = out
+	if err != nil {
+		res.Err = err
+	}
+	candidate := out.Candidate
+	gtSrc := printer.Module(spec.GroundTruth)
+	candSrc := printer.Module(spec.Faulty)
+	if candidate != nil {
+		candSrc = printer.Module(candidate)
+		rep, repErr := metrics.REP(an, spec.GroundTruth, candidate)
+		if repErr == nil {
+			res.REP = rep
+		} else if res.Err == nil {
+			res.Err = repErr
+		}
+	}
+	res.TM = metrics.TokenMatch(gtSrc, candSrc)
+	res.SM = metrics.SyntaxMatch(gtSrc, candSrc)
+	return res
+}
+
+// Hybrid describes one traditional+LLM pairing of RQ3.
+type Hybrid struct {
+	Traditional string
+	LLM         string
+	// TraditionalRepairs and LLMRepairs are the individual REP counts.
+	TraditionalRepairs int
+	LLMRepairs         int
+	// Overlap counts specs repaired by both; Union counts specs repaired
+	// by at least one (the hybrid's capability).
+	Overlap int
+	Union   int
+}
+
+// Hybrids computes all pairings of traditional and LLM techniques over the
+// union of the given evaluations (one per benchmark suite).
+func Hybrids(evals ...*Evaluation) []Hybrid {
+	repaired := func(tech string) map[string]bool {
+		out := map[string]bool{}
+		for _, e := range evals {
+			for name := range e.RepairedSet(tech) {
+				out[e.Suite.Name+"/"+name] = true
+			}
+		}
+		return out
+	}
+	var out []Hybrid
+	for _, trad := range TraditionalNames {
+		tset := repaired(trad)
+		for _, llmName := range LLMNames {
+			lset := repaired(llmName)
+			h := Hybrid{
+				Traditional:        trad,
+				LLM:                llmName,
+				TraditionalRepairs: len(tset),
+				LLMRepairs:         len(lset),
+			}
+			for name := range tset {
+				if lset[name] {
+					h.Overlap++
+				}
+			}
+			h.Union = len(tset) + len(lset) - h.Overlap
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// TotalSpecs sums the suite sizes of the evaluations.
+func TotalSpecs(evals ...*Evaluation) int {
+	n := 0
+	for _, e := range evals {
+		n += len(e.Suite.Specs)
+	}
+	return n
+}

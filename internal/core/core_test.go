@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"specrepair/internal/bench"
+	"specrepair/internal/repair"
+)
+
+func TestStudyFactoriesCoverAllNames(t *testing.T) {
+	fs := StudyFactories(1)
+	if len(fs) != len(TechniqueNames) {
+		t.Fatalf("factories = %d, names = %d", len(fs), len(TechniqueNames))
+	}
+	for i, f := range fs {
+		if f.Name != TechniqueNames[i] {
+			t.Errorf("factory %d = %q, want %q", i, f.Name, TechniqueNames[i])
+		}
+		tool := f.New()
+		if tool.Name() != f.Name {
+			t.Errorf("tool name %q != factory name %q", tool.Name(), f.Name)
+		}
+	}
+	if len(TraditionalNames) != 4 || len(LLMNames) != 8 {
+		t.Errorf("partition broken: %d traditional, %d LLM", len(TraditionalNames), len(LLMNames))
+	}
+}
+
+func TestFactoryByName(t *testing.T) {
+	if _, err := FactoryByName(1, "ATR"); err != nil {
+		t.Error(err)
+	}
+	if _, err := FactoryByName(1, "NoSuchTool"); err == nil {
+		t.Error("expected error for unknown name")
+	}
+}
+
+func miniSuite(t *testing.T) *bench.Suite {
+	t.Helper()
+	g := bench.NewGenerator(nil)
+	g.Scale = 400
+	suite, err := g.ARepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return suite
+}
+
+func TestRunnerEvaluate(t *testing.T) {
+	suite := miniSuite(t)
+	runner := &Runner{Workers: 2, Seed: 1}
+	// Two cheap techniques keep the test fast.
+	var factories []Factory
+	for _, f := range StudyFactories(1) {
+		if f.Name == "BeAFix" || f.Name == "Single-Round_None" {
+			factories = append(factories, f)
+		}
+	}
+	eval, err := runner.Evaluate(suite, factories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range factories {
+		results := eval.Results[f.Name]
+		if len(results) != len(suite.Specs) {
+			t.Errorf("%s: %d results, want %d", f.Name, len(results), len(suite.Specs))
+		}
+		for name, r := range results {
+			if r.Spec == nil || r.Technique != f.Name {
+				t.Errorf("%s/%s: malformed result", f.Name, name)
+			}
+			if r.TM < 0 || r.TM > 1 || r.SM < 0 || r.SM > 1 {
+				t.Errorf("%s/%s: similarity out of range: %+v", f.Name, name, r)
+			}
+			if r.REP == 1 && r.Outcome.Candidate == nil {
+				t.Errorf("%s/%s: REP=1 without a candidate", f.Name, name)
+			}
+		}
+	}
+	// REPCount consistency with RepairedSet.
+	for _, f := range factories {
+		if eval.REPCount(f.Name, "") != len(eval.RepairedSet(f.Name)) {
+			t.Errorf("%s: REPCount disagrees with RepairedSet", f.Name)
+		}
+	}
+}
+
+func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
+	suite := miniSuite(t)
+	var factory []Factory
+	for _, f := range StudyFactories(7) {
+		if f.Name == "Single-Round_Loc" {
+			factory = append(factory, f)
+		}
+	}
+	r1 := &Runner{Workers: 1, Seed: 7}
+	r2 := &Runner{Workers: 4, Seed: 7}
+	e1, err := r1.Evaluate(suite, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := r2.Evaluate(suite, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res1 := range e1.Results["Single-Round_Loc"] {
+		res2 := e2.Results["Single-Round_Loc"][name]
+		if res2 == nil || res1.REP != res2.REP || res1.TM != res2.TM {
+			t.Errorf("%s: results differ across worker counts", name)
+		}
+	}
+}
+
+func TestHybridsArithmetic(t *testing.T) {
+	mk := func(name string, repaired map[string]int) map[string]*Result {
+		out := map[string]*Result{}
+		for spec, rep := range repaired {
+			out[spec] = &Result{Technique: name, REP: rep, Spec: &bench.Spec{Name: spec}}
+		}
+		return out
+	}
+	eval := &Evaluation{
+		Suite: &bench.Suite{Name: "T"},
+		Results: map[string]map[string]*Result{
+			"ARepair":          mk("ARepair", map[string]int{"a": 1, "b": 1, "c": 0}),
+			"ICEBAR":           mk("ICEBAR", map[string]int{"a": 0, "b": 0, "c": 0}),
+			"BeAFix":           mk("BeAFix", map[string]int{"a": 0, "b": 0, "c": 0}),
+			"ATR":              mk("ATR", map[string]int{"a": 0, "b": 0, "c": 0}),
+			"Multi-Round_None": mk("Multi-Round_None", map[string]int{"a": 1, "b": 0, "c": 1}),
+		},
+	}
+	for _, n := range LLMNames {
+		if eval.Results[n] == nil {
+			eval.Results[n] = map[string]*Result{}
+		}
+	}
+	hybrids := Hybrids(eval)
+	if len(hybrids) != 32 {
+		t.Fatalf("hybrids = %d", len(hybrids))
+	}
+	for _, h := range hybrids {
+		if h.Traditional == "ARepair" && h.LLM == "Multi-Round_None" {
+			if h.TraditionalRepairs != 2 || h.LLMRepairs != 2 || h.Overlap != 1 || h.Union != 3 {
+				t.Errorf("hybrid arithmetic wrong: %+v", h)
+			}
+		}
+	}
+}
+
+func TestEvaluateOneMalformedTool(t *testing.T) {
+	// A technique erroring must produce a scored result, not poison the run.
+	suite := miniSuite(t)
+	factories := []Factory{{
+		Name: "broken",
+		New:  func() repair.Technique { return brokenTool{} },
+	}}
+	runner := &Runner{Workers: 1}
+	eval, err := runner.Evaluate(suite, factories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range eval.Results["broken"] {
+		if r.Err == nil {
+			t.Error("expected recorded error")
+		}
+		if r.REP != 0 {
+			t.Error("broken tool cannot repair")
+		}
+	}
+}
+
+type brokenTool struct{}
+
+func (brokenTool) Name() string { return "broken" }
+func (brokenTool) Repair(repair.Problem) (repair.Outcome, error) {
+	return repair.Outcome{}, errTest
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "intentional test failure" }
+
+func TestMeanSimilarityIdenticalCandidate(t *testing.T) {
+	suite := miniSuite(t)
+	spec := suite.Specs[0]
+	eval := &Evaluation{
+		Suite: suite,
+		Results: map[string]map[string]*Result{
+			"x": {spec.Name: &Result{Spec: spec, Technique: "x", TM: 1, SM: 1}},
+		},
+	}
+	tm, sm := eval.MeanSimilarity("x")
+	if tm != 1 || sm != 1 {
+		t.Errorf("mean similarity = %f, %f", tm, sm)
+	}
+}

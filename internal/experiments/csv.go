@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"specrepair/internal/core"
+)
+
+// WriteCSV exports the study's data as machine-readable CSV files into dir:
+//
+//	table1.csv  domain-level REP counts per technique
+//	fig2.csv    mean TM/SM per technique
+//	fig3.csv    Pearson correlation matrix
+//	table2.csv  the 32 hybrid combinations
+//
+// The files carry exactly the data behind the rendered tables and figures,
+// for external plotting.
+func (s *Study) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	write := func(name string, rows [][]string) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		w := csv.NewWriter(f)
+		if err := w.WriteAll(rows); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", name, err)
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	// table1.csv
+	rows := [][]string{append([]string{"benchmark", "domain", "specs"}, core.TechniqueNames...)}
+	for _, eval := range []*core.Evaluation{s.A4F, s.ARepair} {
+		order := a4fDomainOrder
+		if eval.Suite.Name == "ARepair" {
+			order = arepairDomainOrder
+		}
+		domains := eval.Suite.ByDomain()
+		for _, dom := range order {
+			specs := domains[dom]
+			if len(specs) == 0 {
+				continue
+			}
+			row := []string{eval.Suite.Name, dom, strconv.Itoa(len(specs))}
+			for _, tech := range core.TechniqueNames {
+				row = append(row, strconv.Itoa(eval.REPCount(tech, dom)))
+			}
+			rows = append(rows, row)
+		}
+	}
+	if err := write("table1.csv", rows); err != nil {
+		return err
+	}
+
+	// fig2.csv
+	rows = [][]string{{"technique", "tm", "sm"}}
+	for _, r := range s.Figure2() {
+		rows = append(rows, []string{r.Technique,
+			strconv.FormatFloat(r.TM, 'f', 4, 64),
+			strconv.FormatFloat(r.SM, 'f', 4, 64)})
+	}
+	if err := write("fig2.csv", rows); err != nil {
+		return err
+	}
+
+	// fig3.csv
+	names, matrix, _ := s.Figure3()
+	rows = [][]string{append([]string{""}, names...)}
+	for i, n := range names {
+		row := []string{n}
+		for j := range names {
+			row = append(row, strconv.FormatFloat(matrix[i][j], 'f', 4, 64))
+		}
+		rows = append(rows, row)
+		_ = i
+	}
+	if err := write("fig3.csv", rows); err != nil {
+		return err
+	}
+
+	// table2.csv
+	rows = [][]string{{"traditional", "traditional_repairs", "llm", "llm_repairs", "overlap", "union"}}
+	for _, h := range s.TableII() {
+		rows = append(rows, []string{
+			h.Traditional, strconv.Itoa(h.TraditionalRepairs),
+			h.LLM, strconv.Itoa(h.LLMRepairs),
+			strconv.Itoa(h.Overlap), strconv.Itoa(h.Union),
+		})
+	}
+	return write("table2.csv", rows)
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	s := syntheticStudy()
+	dir := t.TempDir()
+	if err := s.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for file, wantCols := range map[string]int{
+		"table1.csv": 3 + 12,
+		"fig2.csv":   3,
+		"fig3.csv":   13,
+		"table2.csv": 6,
+	} {
+		f, err := os.Open(filepath.Join(dir, file))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if len(rows) < 2 {
+			t.Errorf("%s: only %d rows", file, len(rows))
+		}
+		if len(rows[0]) != wantCols {
+			t.Errorf("%s: %d columns, want %d", file, len(rows[0]), wantCols)
+		}
+	}
+	// table2 must hold exactly 32 hybrids plus header.
+	f, _ := os.Open(filepath.Join(dir, "table2.csv"))
+	rows, _ := csv.NewReader(f).ReadAll()
+	f.Close()
+	if len(rows) != 33 {
+		t.Errorf("table2 rows = %d, want 33", len(rows))
+	}
+}

@@ -1,0 +1,297 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section IV): Table I (REP counts per technique and domain),
+// Figure 2 (mean TM/SM per technique), Figure 3 (Pearson correlation matrix
+// of techniques), and Table II / Figure 4 (hybrid traditional+LLM
+// combinations).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"specrepair/internal/bench"
+	"specrepair/internal/core"
+	"specrepair/internal/metrics"
+)
+
+// Study bundles the evaluations of both benchmark suites.
+type Study struct {
+	A4F     *core.Evaluation
+	ARepair *core.Evaluation
+}
+
+// Run executes the full study: generate both benchmarks (scaled down by
+// scale; 1 = the paper's full corpus) and evaluate all twelve techniques.
+func Run(seed int64, scale, workers int, progress func(string)) (*Study, error) {
+	gen := bench.NewGenerator(nil)
+	if scale > 1 {
+		gen.Scale = scale
+	}
+	if progress != nil {
+		progress("generating benchmark corpora")
+	}
+	a4f, ar, err := gen.Both()
+	if err != nil {
+		return nil, fmt.Errorf("generating benchmarks: %w", err)
+	}
+	factories := core.StudyFactories(seed)
+	runner := &core.Runner{Workers: workers, Seed: seed}
+	if progress != nil {
+		runner.Progress = func(tech, spec string, done, total int) {
+			if done%500 == 0 || done == total {
+				progress(fmt.Sprintf("evaluated %d/%d", done, total))
+			}
+		}
+		progress(fmt.Sprintf("evaluating %d techniques x %d A4F specs", len(factories), len(a4f.Specs)))
+	}
+	a4fEval, err := runner.Evaluate(a4f, factories)
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		progress(fmt.Sprintf("evaluating %d techniques x %d ARepair specs", len(factories), len(ar.Specs)))
+	}
+	arEval, err := runner.Evaluate(ar, factories)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{A4F: a4fEval, ARepair: arEval}, nil
+}
+
+// domainOrder lists domains in the paper's row order.
+var a4fDomainOrder = []string{"classroom", "cv", "graphs", "lts", "production", "trash"}
+var arepairDomainOrder = []string{
+	"addr", "arr", "balancedBSt", "bempl", "cd", "ctree",
+	"dll", "farmer", "fsm", "grade", "other", "Student",
+}
+
+// TableI renders the REP-count table in the paper's layout: one row per
+// domain, one column per technique, with per-benchmark summaries and a
+// grand total.
+func (s *Study) TableI() string {
+	var b strings.Builder
+	cols := core.TechniqueNames
+
+	writeHeader := func() {
+		fmt.Fprintf(&b, "%-22s %6s", "Domain", "#spec")
+		for _, c := range cols {
+			fmt.Fprintf(&b, " %s", shorten(c))
+		}
+		b.WriteString("\n")
+	}
+	writeRows := func(eval *core.Evaluation, order []string, label string) {
+		domains := eval.Suite.ByDomain()
+		sums := make([]int, len(cols))
+		total := 0
+		for _, dom := range order {
+			specs := domains[dom]
+			if len(specs) == 0 {
+				continue
+			}
+			total += len(specs)
+			fmt.Fprintf(&b, "%-22s %6d", dom, len(specs))
+			for i, c := range cols {
+				n := eval.REPCount(c, dom)
+				sums[i] += n
+				fmt.Fprintf(&b, " %*d", len(shorten(c)), n)
+			}
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "%-22s %6d", label+" summary", total)
+		for i, c := range cols {
+			fmt.Fprintf(&b, " %*d", len(shorten(c)), sums[i])
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("Table I: REP scores (specifications repaired) per technique\n\n")
+	writeHeader()
+	writeRows(s.A4F, a4fDomainOrder, "A4F")
+	b.WriteString("\n")
+	writeRows(s.ARepair, arepairDomainOrder, "ARepair")
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-22s %6d", "Total", core.TotalSpecs(s.A4F, s.ARepair))
+	for _, c := range cols {
+		n := s.A4F.REPCount(c, "") + s.ARepair.REPCount(c, "")
+		fmt.Fprintf(&b, " %*d", len(shorten(c)), n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func shorten(name string) string {
+	name = strings.ReplaceAll(name, "Single-Round_", "SR_")
+	name = strings.ReplaceAll(name, "Multi-Round_", "MR_")
+	if len(name) < 7 {
+		return fmt.Sprintf("%7s", name)
+	}
+	return name
+}
+
+// Figure2Row is one bar pair of Figure 2.
+type Figure2Row struct {
+	Technique string
+	TM        float64
+	SM        float64
+}
+
+// Figure2 computes mean TM and SM per technique over both benchmarks.
+func (s *Study) Figure2() []Figure2Row {
+	var rows []Figure2Row
+	for _, tech := range core.TechniqueNames {
+		tmA, smA := s.A4F.SimilarityVectors(tech)
+		tmR, smR := s.ARepair.SimilarityVectors(tech)
+		tm := metrics.Mean(append(append([]float64(nil), tmA...), tmR...))
+		sm := metrics.Mean(append(append([]float64(nil), smA...), smR...))
+		rows = append(rows, Figure2Row{Technique: tech, TM: tm, SM: sm})
+	}
+	return rows
+}
+
+// RenderFigure2 renders the TM/SM bars as text.
+func (s *Study) RenderFigure2() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: mean similarity to ground truth per technique\n\n")
+	fmt.Fprintf(&b, "%-24s %8s %8s\n", "Technique", "TM", "SM")
+	for _, r := range s.Figure2() {
+		fmt.Fprintf(&b, "%-24s %8.3f %8.3f  %s\n", r.Technique, r.TM, r.SM, bar(r.SM))
+	}
+	return b.String()
+}
+
+func bar(v float64) string {
+	n := int(v * 30)
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n)
+}
+
+// Figure3 computes the Pearson correlation matrix between all technique
+// pairs over the combined per-spec similarity vectors (TM and SM
+// concatenated), plus the maximum p-value observed.
+func (s *Study) Figure3() (names []string, matrix [][]float64, maxP float64) {
+	names = core.TechniqueNames
+	vectors := map[string][]float64{}
+	for _, tech := range names {
+		tmA, smA := s.A4F.SimilarityVectors(tech)
+		tmR, smR := s.ARepair.SimilarityVectors(tech)
+		v := append(append([]float64(nil), tmA...), tmR...)
+		v = append(v, smA...)
+		v = append(v, smR...)
+		vectors[tech] = v
+	}
+	matrix = make([][]float64, len(names))
+	for i := range names {
+		matrix[i] = make([]float64, len(names))
+		for j := range names {
+			r, p := metrics.Pearson(vectors[names[i]], vectors[names[j]])
+			matrix[i][j] = r
+			if i != j && p > maxP {
+				maxP = p
+			}
+		}
+	}
+	return names, matrix, maxP
+}
+
+// RenderFigure3 renders the correlation heatmap as text.
+func (s *Study) RenderFigure3() string {
+	names, matrix, maxP := s.Figure3()
+	var b strings.Builder
+	b.WriteString("Figure 3: Pearson correlation between techniques (per-spec similarity)\n\n")
+	fmt.Fprintf(&b, "%-24s", "")
+	for j := range names {
+		fmt.Fprintf(&b, " %5d", j)
+	}
+	b.WriteString("\n")
+	for i, n := range names {
+		fmt.Fprintf(&b, "%2d %-21s", i, n)
+		for j := range names {
+			fmt.Fprintf(&b, " %5.2f", matrix[i][j])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "\nmax pairwise p-value: %.2g\n", maxP)
+	return b.String()
+}
+
+// TableII computes the 32 hybrid combinations.
+func (s *Study) TableII() []core.Hybrid {
+	return core.Hybrids(s.A4F, s.ARepair)
+}
+
+// RenderTableII renders the hybrid overview in the paper's column layout.
+func (s *Study) RenderTableII() string {
+	var b strings.Builder
+	total := core.TotalSpecs(s.A4F, s.ARepair)
+	b.WriteString("Table II: hybrid traditional+LLM repair capabilities\n\n")
+	fmt.Fprintf(&b, "%-10s %6s  %-22s %6s %8s %7s %7s\n",
+		"Trad.", "Rep.", "LLM technique", "Rep.", "Overlap", "Union", "Rate")
+	for _, h := range s.TableII() {
+		fmt.Fprintf(&b, "%-10s %6d  %-22s %6d %8d %7d %6.1f%%\n",
+			h.Traditional, h.TraditionalRepairs, h.LLM, h.LLMRepairs,
+			h.Overlap, h.Union, 100*float64(h.Union)/float64(total))
+	}
+	return b.String()
+}
+
+// Figure4Cell is one Venn diagram of Figure 4.
+type Figure4Cell struct {
+	Hybrid core.Hybrid
+	// OnlyTraditional, OnlyLLM and Both are the Venn regions.
+	OnlyTraditional int
+	OnlyLLM         int
+	Both            int
+}
+
+// Figure4 computes the 32 Venn diagrams.
+func (s *Study) Figure4() []Figure4Cell {
+	var out []Figure4Cell
+	for _, h := range s.TableII() {
+		out = append(out, Figure4Cell{
+			Hybrid:          h,
+			OnlyTraditional: h.TraditionalRepairs - h.Overlap,
+			OnlyLLM:         h.LLMRepairs - h.Overlap,
+			Both:            h.Overlap,
+		})
+	}
+	return out
+}
+
+// RenderFigure4 renders the Venn regions as text.
+func (s *Study) RenderFigure4() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: Venn regions of hybrid combinations (only-trad / both / only-LLM)\n\n")
+	for _, c := range s.Figure4() {
+		fmt.Fprintf(&b, "%-10s + %-22s  (%4d | %4d | %4d)  union %4d\n",
+			c.Hybrid.Traditional, c.Hybrid.LLM,
+			c.OnlyTraditional, c.Both, c.OnlyLLM, c.Hybrid.Union)
+	}
+	return b.String()
+}
+
+// BestHybrid returns the pairing with the largest union.
+func (s *Study) BestHybrid() core.Hybrid {
+	hybrids := s.TableII()
+	sort.SliceStable(hybrids, func(i, j int) bool { return hybrids[i].Union > hybrids[j].Union })
+	return hybrids[0]
+}
+
+// Summary produces the headline numbers of the study.
+func (s *Study) Summary() string {
+	var b strings.Builder
+	total := core.TotalSpecs(s.A4F, s.ARepair)
+	best := s.BestHybrid()
+	b.WriteString("Study summary\n")
+	fmt.Fprintf(&b, "  specifications analyzed: %d (A4F %d + ARepair %d)\n",
+		total, len(s.A4F.Suite.Specs), len(s.ARepair.Suite.Specs))
+	for _, tech := range core.TechniqueNames {
+		n := s.A4F.REPCount(tech, "") + s.ARepair.REPCount(tech, "")
+		fmt.Fprintf(&b, "  %-24s %5d repairs (%.1f%%)\n", tech, n, 100*float64(n)/float64(total))
+	}
+	fmt.Fprintf(&b, "  best hybrid: %s + %s = %d repairs (%.1f%%)\n",
+		best.Traditional, best.LLM, best.Union, 100*float64(best.Union)/float64(total))
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"specrepair/internal/bench"
+	"specrepair/internal/core"
+)
+
+// syntheticStudy fabricates a small, fully-controlled evaluation grid so
+// the render functions can be tested without running any repairs.
+func syntheticStudy() *Study {
+	mkSuite := func(name string, domains map[string]int) *bench.Suite {
+		s := &bench.Suite{Name: name}
+		for dom, n := range domains {
+			for i := 0; i < n; i++ {
+				s.Specs = append(s.Specs, &bench.Spec{
+					Benchmark: name,
+					Domain:    dom,
+					Name:      dom + "/" + string(rune('a'+i)),
+				})
+			}
+		}
+		return s
+	}
+	mkEval := func(suite *bench.Suite, repRate map[string]float64) *core.Evaluation {
+		eval := &core.Evaluation{Suite: suite, Results: map[string]map[string]*core.Result{}}
+		for ti, tech := range core.TechniqueNames {
+			eval.Results[tech] = map[string]*core.Result{}
+			rate := repRate[tech]
+			for si, spec := range suite.Specs {
+				rep := 0
+				if float64(si%10) < rate*10 {
+					rep = 1
+				}
+				tm := 0.5 + 0.04*float64(ti%5) + 0.01*float64(si%7)
+				eval.Results[tech][spec.Name] = &core.Result{
+					Spec: spec, Technique: tech, REP: rep, TM: tm, SM: tm + 0.02,
+				}
+			}
+		}
+		return eval
+	}
+	rates := map[string]float64{}
+	for i, tech := range core.TechniqueNames {
+		rates[tech] = float64(i+1) / float64(len(core.TechniqueNames)+1)
+	}
+	a4f := mkSuite("A4F", map[string]int{"classroom": 10, "cv": 5, "graphs": 4, "lts": 3, "production": 2, "trash": 2})
+	ar := mkSuite("ARepair", map[string]int{"addr": 1, "dll": 2, "Student": 3})
+	return &Study{A4F: mkEval(a4f, rates), ARepair: mkEval(ar, rates)}
+}
+
+func TestRenderTableISynthetic(t *testing.T) {
+	s := syntheticStudy()
+	table := s.TableI()
+	for _, want := range []string{"classroom", "A4F summary", "ARepair summary", "Total", "MR_Auto"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+	if len(strings.Split(table, "\n")) < 15 {
+		t.Error("Table I suspiciously short")
+	}
+}
+
+func TestRenderFigure2Synthetic(t *testing.T) {
+	s := syntheticStudy()
+	out := s.RenderFigure2()
+	if !strings.Contains(out, "ARepair") || !strings.Contains(out, "Multi-Round_Auto") {
+		t.Errorf("Figure 2 missing techniques:\n%s", out)
+	}
+	rows := s.Figure2()
+	for _, r := range rows {
+		if r.SM < r.TM {
+			t.Errorf("%s: synthetic SM should exceed TM", r.Technique)
+		}
+	}
+}
+
+func TestRenderFigure3Synthetic(t *testing.T) {
+	s := syntheticStudy()
+	names, matrix, _ := s.Figure3()
+	for i := range names {
+		for j := range names {
+			if matrix[i][j] < -1.0001 || matrix[i][j] > 1.0001 {
+				t.Errorf("correlation out of range at %d,%d: %f", i, j, matrix[i][j])
+			}
+		}
+	}
+	out := s.RenderFigure3()
+	if !strings.Contains(out, "Pearson") {
+		t.Error("Figure 3 render missing header")
+	}
+}
+
+func TestRenderHybridsSynthetic(t *testing.T) {
+	s := syntheticStudy()
+	if got := len(s.TableII()); got != 32 {
+		t.Fatalf("TableII rows = %d", got)
+	}
+	best := s.BestHybrid()
+	if best.Union == 0 {
+		t.Error("best hybrid has empty union")
+	}
+	for _, want := range []string{"ATR", "Multi-Round_None", "union"} {
+		if !strings.Contains(s.RenderFigure4(), want) && want == "union" {
+			t.Error("Figure 4 render missing union counts")
+		}
+	}
+	if !strings.Contains(s.Summary(), "best hybrid") {
+		t.Error("summary missing best hybrid line")
+	}
+}

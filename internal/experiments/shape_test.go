@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"specrepair/internal/core"
+)
+
+// TestStudyShapeInvariants asserts the robust, scale-independent shape
+// properties of the study on the cached slice. Finer-grained orderings
+// (which need larger samples) are recorded in EXPERIMENTS.md from the
+// headline run instead.
+func TestStudyShapeInvariants(t *testing.T) {
+	s := scaledStudy(t)
+	total := func(tech string) int {
+		return s.A4F.REPCount(tech, "") + s.ARepair.REPCount(tech, "")
+	}
+
+	// The Multi-Round family outperforms the Single-Round family in
+	// aggregate (the paper's Finding 1).
+	mr := total("Multi-Round_None") + total("Multi-Round_Generic") + total("Multi-Round_Auto")
+	sr := 0
+	for _, name := range []string{"Single-Round_Loc+Fix", "Single-Round_Loc",
+		"Single-Round_Pass", "Single-Round_None", "Single-Round_Loc+Pass"} {
+		sr += total(name)
+	}
+	// Compare per-configuration means so family sizes don't bias the sum.
+	if mr*5 <= sr*3 {
+		t.Errorf("multi-round mean (%d/3) should beat single-round mean (%d/5)", mr, sr)
+	}
+
+	// ARepair is never the strongest technique (it overfits by design).
+	arepair := total("ARepair")
+	for _, tech := range core.TechniqueNames {
+		if tech == "ARepair" || tech == "Single-Round_None" || tech == "Single-Round_Pass" {
+			continue
+		}
+		if arepair > total(tech)+len(s.A4F.Suite.Specs)/4 {
+			t.Errorf("ARepair (%d) unexpectedly dominates %s (%d)", arepair, tech, total(tech))
+		}
+	}
+
+	// The best hybrid strictly improves on the best individual technique
+	// whenever the two families repair different specs at all.
+	best := s.BestHybrid()
+	bestIndividual := 0
+	for _, tech := range core.TechniqueNames {
+		if n := total(tech); n > bestIndividual {
+			bestIndividual = n
+		}
+	}
+	if best.Union < bestIndividual {
+		t.Errorf("best hybrid union (%d) below best individual (%d)", best.Union, bestIndividual)
+	}
+
+	// Hint cues help: Loc beats None among single-round settings.
+	if total("Single-Round_Loc") < total("Single-Round_None") {
+		t.Errorf("Loc hint (%d) should not trail None (%d)",
+			total("Single-Round_Loc"), total("Single-Round_None"))
+	}
+}

@@ -1,0 +1,91 @@
+package llm
+
+import (
+	"testing"
+)
+
+const noiseSpec = `
+sig Node { next: lone Node }
+fact Links { all n: Node | n in n.next }
+assert NoSelf { no n: Node | n in n.next }
+check NoSelf for 3
+`
+
+func repairMsgs() []Message {
+	return []Message{
+		{Role: RoleSystem, Content: RepairSystemPrompt},
+		{Role: RoleUser, Content: BuildRepairPrompt(noiseSpec, PromptOptions{})},
+	}
+}
+
+func TestGarbageNoiseProducesUnusableReplies(t *testing.T) {
+	m := NewSimulatedModel(3)
+	m.GarbageNoise = 1.0
+	reply, err := m.Complete(repairMsgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ExtractSpec(reply); ok {
+		t.Errorf("garbage reply should carry no spec: %q", reply)
+	}
+}
+
+func TestFormatNoiseStillExtractable(t *testing.T) {
+	// Even under maximal formatting noise, the response parser recovers a
+	// specification (that is the point of the fallback heuristics).
+	m := NewSimulatedModel(3)
+	m.GarbageNoise = 0
+	m.FormatNoise = 1.0
+	for seed := int64(1); seed <= 20; seed++ {
+		m.Seed = seed
+		reply, err := m.Complete(repairMsgs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := ExtractSpec(reply); !ok {
+			t.Errorf("seed %d: sloppy formatting defeated extraction: %q", seed, reply)
+		}
+	}
+}
+
+func TestLaterRoundsExploreFurther(t *testing.T) {
+	// Over several no-feedback rounds the model must keep producing fresh
+	// proposals (temperature growth + duplicate avoidance).
+	m := NewSimulatedModel(9)
+	m.GarbageNoise = 0
+	m.FormatNoise = 0
+	msgs := repairMsgs()
+	seen := map[string]bool{}
+	fresh := 0
+	for round := 0; round < 6; round++ {
+		reply, err := m.Complete(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec, ok := ExtractSpec(reply); ok {
+			if !seen[spec] {
+				fresh++
+			}
+			seen[spec] = true
+		}
+		msgs = append(msgs,
+			Message{Role: RoleAssistant, Content: reply},
+			Message{Role: RoleUser, Content: BuildNoFeedback()},
+		)
+	}
+	if fresh < 4 {
+		t.Errorf("only %d distinct proposals over 6 rounds", fresh)
+	}
+}
+
+func TestUsageCountsCompletions(t *testing.T) {
+	m := NewSimulatedModel(1)
+	for i := 0; i < 3; i++ {
+		if _, err := m.Complete(repairMsgs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Usage().Completions; got != 3 {
+		t.Errorf("completions = %d, want 3", got)
+	}
+}

@@ -1,0 +1,39 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"specrepair/internal/metrics"
+)
+
+func ExampleBLEU() {
+	ref := []string{"all", "n", ":", "Node", "|", "n", "not", "in", "n", ".", "next"}
+	hyp := []string{"all", "n", ":", "Node", "|", "n", "in", "n", ".", "next"}
+	fmt.Printf("%.2f\n", metrics.BLEU(ref, ref, 4))
+	fmt.Printf("%.2f > %.2f\n", metrics.BLEU(ref, ref, 4), metrics.BLEU(ref, hyp, 4))
+	// Output:
+	// 1.00
+	// 1.00 > 0.74
+}
+
+func ExampleTokenMatch() {
+	gt := "sig A { f: set A }"
+	fix := "sig A { f: set A }"
+	fmt.Printf("%.1f\n", metrics.TokenMatch(gt, fix))
+	// Output: 1.0
+}
+
+func ExampleSyntaxMatch() {
+	gt := "sig A { f: set A }\nfact { all x: A | some x.f }\nrun {} for 3"
+	reformatted := "sig A {f: set A}  fact {all x: A | some x.f}  run {} for 3"
+	fmt.Printf("%.1f\n", metrics.SyntaxMatch(gt, reformatted))
+	// Output: 1.0
+}
+
+func ExamplePearson() {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{2, 4, 6, 8, 10, 12}
+	r, _ := metrics.Pearson(x, y)
+	fmt.Printf("r = %.3f\n", r)
+	// Output: r = 1.000
+}

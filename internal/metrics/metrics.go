@@ -1,0 +1,407 @@
+// Package metrics implements the study's three evaluation metrics — REP
+// (repair success via command-by-command equisatisfiability), TM (token
+// match, sentence-level BLEU over whitespace tokens), and SM (syntax match,
+// parse-tree subtree-kernel similarity) — plus the Pearson correlation used
+// in the complementarity analysis.
+package metrics
+
+import (
+	"math"
+
+	"specrepair/internal/alloy/ast"
+	"specrepair/internal/alloy/lexer"
+	"specrepair/internal/alloy/parser"
+	"specrepair/internal/analyzer"
+)
+
+// REP computes the repair-success metric: 1 when every command of the
+// ground truth yields the same satisfiability verdict on the candidate,
+// else 0. A nil candidate scores 0.
+func REP(an *analyzer.Analyzer, groundTruth, candidate *ast.Module) (int, error) {
+	if candidate == nil {
+		return 0, nil
+	}
+	eq, err := an.Equisat(groundTruth, candidate)
+	if err != nil {
+		return 0, err
+	}
+	if eq {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// TokenMatch computes the TM metric: the sentence-level BLEU score of the
+// candidate text against the ground-truth text, tokenized by the Alloy
+// lexer (the paper separates on whitespace; lexical tokenization is the
+// equivalent over canonically printed specs). Scores range in [0, 1].
+func TokenMatch(groundTruth, candidate string) float64 {
+	ref := lexer.Tokenize(groundTruth)
+	hyp := lexer.Tokenize(candidate)
+	return BLEU(ref, hyp, 4)
+}
+
+// BLEU computes sentence-level BLEU with uniform n-gram weights up to
+// maxN, brevity penalty, and add-one smoothing on the higher-order
+// precisions (Lin & Och smoothing), the standard choice for sentence-level
+// scores on short texts.
+func BLEU(ref, hyp []string, maxN int) float64 {
+	if len(hyp) == 0 {
+		return 0
+	}
+	if maxN < 1 {
+		maxN = 1
+	}
+	logSum := 0.0
+	for n := 1; n <= maxN; n++ {
+		matches, total := ngramOverlap(ref, hyp, n)
+		var p float64
+		if n == 1 {
+			if total == 0 {
+				return 0
+			}
+			p = float64(matches) / float64(total)
+		} else {
+			p = (float64(matches) + 1) / (float64(total) + 1)
+		}
+		if p == 0 {
+			return 0
+		}
+		logSum += math.Log(p)
+	}
+	bleu := math.Exp(logSum / float64(maxN))
+
+	// Brevity penalty.
+	if len(hyp) < len(ref) {
+		bleu *= math.Exp(1 - float64(len(ref))/float64(len(hyp)))
+	}
+	if bleu > 1 {
+		bleu = 1
+	}
+	return bleu
+}
+
+// ngramOverlap counts clipped n-gram matches of hyp against ref and the
+// total number of hyp n-grams.
+func ngramOverlap(ref, hyp []string, n int) (matches, total int) {
+	if len(hyp) < n {
+		return 0, 0
+	}
+	refCounts := map[string]int{}
+	for i := 0; i+n <= len(ref); i++ {
+		refCounts[joinGram(ref[i:i+n])]++
+	}
+	hypCounts := map[string]int{}
+	for i := 0; i+n <= len(hyp); i++ {
+		hypCounts[joinGram(hyp[i:i+n])]++
+		total++
+	}
+	for g, c := range hypCounts {
+		r := refCounts[g]
+		if r < c {
+			matches += r
+		} else {
+			matches += c
+		}
+	}
+	return matches, total
+}
+
+func joinGram(toks []string) string {
+	out := ""
+	for _, t := range toks {
+		out += t + "\x00"
+	}
+	return out
+}
+
+// SyntaxMatch computes the SM metric: the normalized subtree-kernel
+// similarity of the two specifications' parse trees. Both sources must
+// parse; a non-parsing candidate scores 0.
+func SyntaxMatch(groundTruth, candidate string) float64 {
+	gt, err := parser.Parse(groundTruth)
+	if err != nil {
+		return 0
+	}
+	cand, err := parser.Parse(candidate)
+	if err != nil {
+		return 0
+	}
+	return TreeKernelSimilarity(gt, cand)
+}
+
+// TreeKernelSimilarity computes the normalized subtree kernel between two
+// modules: K(a,b) / sqrt(K(a,a) * K(b,b)), where K counts pairs of
+// identical complete subtrees. Identical trees score 1; trees sharing no
+// subtree score 0.
+func TreeKernelSimilarity(a, b *ast.Module) float64 {
+	ca := subtreeCounts(a)
+	cb := subtreeCounts(b)
+	kab := kernel(ca, cb)
+	kaa := kernel(ca, ca)
+	kbb := kernel(cb, cb)
+	if kaa == 0 || kbb == 0 {
+		return 0
+	}
+	return kab / math.Sqrt(kaa*kbb)
+}
+
+func kernel(a, b map[string]int) float64 {
+	// Iterate over the smaller map.
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	sum := 0.0
+	for h, ca := range a {
+		if cb, ok := b[h]; ok {
+			sum += float64(ca) * float64(cb)
+		}
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Pearson computes the Pearson correlation coefficient of two equal-length
+// samples, plus the two-tailed p-value of the null hypothesis r = 0
+// (Student's t distribution with n-2 degrees of freedom). It returns NaN
+// correlation for degenerate inputs (n < 2 or zero variance).
+func Pearson(x, y []float64) (r, p float64) {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return math.NaN(), math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN(), math.NaN()
+	}
+	r = sxy / math.Sqrt(sxx*syy)
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	if n < 3 || math.Abs(r) == 1 {
+		return r, 0
+	}
+	t := math.Abs(r) * math.Sqrt(float64(n-2)/(1-r*r))
+	p = 2 * studentTUpperTail(t, float64(n-2))
+	return r, p
+}
+
+// studentTUpperTail returns P(T >= t) for Student's t with df degrees of
+// freedom, via the regularized incomplete beta function.
+func studentTUpperTail(t, df float64) float64 {
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the standard continued-fraction expansion (Numerical Recipes
+// betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 200
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// subtreeCounts returns the multiset of complete-subtree fingerprints of a
+// module, keyed by a canonical string encoding.
+func subtreeCounts(m *ast.Module) map[string]int {
+	counts := map[string]int{}
+	var enc func(e ast.Expr) string
+	enc = func(e ast.Expr) string {
+		label := nodeLabel(e)
+		s := "(" + label
+		for _, kid := range ast.Children(e) {
+			s += enc(kid)
+		}
+		s += ")"
+		counts[s]++
+		return s
+	}
+	root := "(module"
+	for _, sig := range m.Sigs {
+		s := "(sig:" + sigKey(sig)
+		for _, f := range sig.Fields {
+			fs := "(field:" + joinNames(f.Names) + f.Mult.String() + enc(f.Expr) + ")"
+			counts[fs]++
+			s += fs
+		}
+		if sig.Fact != nil {
+			s += enc(sig.Fact)
+		}
+		s += ")"
+		counts[s]++
+		root += s
+	}
+	for _, f := range m.Facts {
+		s := "(fact:" + f.Name + enc(f.Body) + ")"
+		counts[s]++
+		root += s
+	}
+	for _, p := range m.Preds {
+		s := "(pred:" + p.Name
+		for _, d := range p.Params {
+			s += "(param:" + joinNames(d.Names) + enc(d.Expr) + ")"
+		}
+		s += enc(p.Body) + ")"
+		counts[s]++
+		root += s
+	}
+	for _, fn := range m.Funs {
+		s := "(fun:" + fn.Name + enc(fn.Result) + enc(fn.Body) + ")"
+		counts[s]++
+		root += s
+	}
+	for _, a := range m.Asserts {
+		s := "(assert:" + a.Name + enc(a.Body) + ")"
+		counts[s]++
+		root += s
+	}
+	for _, c := range m.Commands {
+		s := "(cmd:" + c.Kind.String() + ":" + c.Target
+		if c.Block != nil {
+			s += enc(c.Block)
+		}
+		s += ")"
+		counts[s]++
+		root += s
+	}
+	counts[root+")"]++
+	return counts
+}
+
+func nodeLabel(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return "id:" + x.Name
+	case *ast.Const:
+		return "const:" + x.Kind.String()
+	case *ast.IntLit:
+		return "int"
+	case *ast.Unary:
+		return "un:" + x.Op.String()
+	case *ast.Binary:
+		return "bin:" + x.Op.String()
+	case *ast.BoxJoin:
+		return "boxjoin"
+	case *ast.Prime:
+		return "prime"
+	case *ast.Quantified:
+		q := "quant:" + x.Quant.String()
+		for _, d := range x.Decls {
+			q += ":" + joinNames(d.Names)
+		}
+		return q
+	case *ast.Comprehension:
+		return "compr"
+	case *ast.Let:
+		return "let:" + joinNames(x.Names)
+	case *ast.IfElse:
+		return "ite"
+	case *ast.Block:
+		return "block"
+	case *ast.Call:
+		return "call:" + x.Name
+	default:
+		return "other"
+	}
+}
+
+func sigKey(s *ast.Sig) string {
+	key := joinNames(s.Names)
+	if s.Abstract {
+		key += ":abstract"
+	}
+	if s.Parent != "" {
+		key += ":ext:" + s.Parent
+	}
+	return key
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for _, n := range names {
+		out += n + ","
+	}
+	return out
+}

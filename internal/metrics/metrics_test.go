@@ -1,0 +1,282 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"specrepair/internal/alloy/parser"
+	"specrepair/internal/analyzer"
+)
+
+const gtSrc = `
+sig Node { next: lone Node }
+fact Links { all n: Node | n not in n.next }
+assert NoSelf { no n: Node | n in n.next }
+check NoSelf for 3
+run { some Node } for 3
+`
+
+const equivalentSrc = `
+sig Node { next: lone Node }
+fact Links { no n: Node | n in n.next }
+assert NoSelf { no n: Node | n in n.next }
+check NoSelf for 3
+run { some Node } for 3
+`
+
+const brokenSrc = `
+sig Node { next: lone Node }
+fact Links { all n: Node | n in n.next }
+assert NoSelf { no n: Node | n in n.next }
+check NoSelf for 3
+run { some Node } for 3
+`
+
+func TestREP(t *testing.T) {
+	an := analyzer.New(analyzer.Options{})
+	gt, err := parser.Parse(gtSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"identical", gtSrc, 1},
+		{"semantically equivalent", equivalentSrc, 1},
+		{"broken", brokenSrc, 0},
+	} {
+		cand, err := parser.Parse(tt.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := REP(an, gt, cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("REP(%s) = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+	got, err := REP(an, gt, nil)
+	if err != nil || got != 0 {
+		t.Errorf("REP(nil) = %d, %v", got, err)
+	}
+}
+
+func TestBLEUIdentical(t *testing.T) {
+	toks := []string{"a", "b", "c", "d", "e"}
+	if got := BLEU(toks, toks, 4); math.Abs(got-1) > 1e-9 {
+		t.Errorf("BLEU(identical) = %f, want 1", got)
+	}
+}
+
+func TestBLEUDisjoint(t *testing.T) {
+	if got := BLEU([]string{"a", "b", "c"}, []string{"x", "y", "z"}, 4); got != 0 {
+		t.Errorf("BLEU(disjoint) = %f, want 0", got)
+	}
+}
+
+func TestBLEUEmpty(t *testing.T) {
+	if got := BLEU([]string{"a"}, nil, 4); got != 0 {
+		t.Errorf("BLEU(empty hyp) = %f", got)
+	}
+}
+
+func TestBLEUPartial(t *testing.T) {
+	ref := []string{"a", "b", "c", "d", "e", "f"}
+	hyp := []string{"a", "b", "c", "x", "e", "f"}
+	got := BLEU(ref, hyp, 4)
+	if got <= 0 || got >= 1 {
+		t.Errorf("BLEU(partial) = %f, want in (0,1)", got)
+	}
+	// Closer hypothesis scores higher.
+	hyp2 := []string{"a", "b", "c", "d", "e", "x"}
+	got2 := BLEU(ref, hyp2, 4)
+	if got2 <= got {
+		t.Errorf("more-overlapping hyp should score higher: %f vs %f", got2, got)
+	}
+}
+
+func TestBLEUBrevityPenalty(t *testing.T) {
+	ref := []string{"a", "b", "c", "d", "e", "f"}
+	short := []string{"a", "b"}
+	long := []string{"a", "b", "c", "d", "e", "f"}
+	if BLEU(ref, short, 1) >= BLEU(ref, long, 1) {
+		t.Error("brevity penalty missing")
+	}
+}
+
+func TestBLEURange(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(9))}
+	vocab := []string{"a", "b", "c", "d"}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []string {
+			n := rng.Intn(12)
+			out := make([]string, n)
+			for i := range out {
+				out[i] = vocab[rng.Intn(len(vocab))]
+			}
+			return out
+		}
+		s := BLEU(mk(), mk(), 4)
+		return s >= 0 && s <= 1 && !math.IsNaN(s)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenMatch(t *testing.T) {
+	if got := TokenMatch(gtSrc, gtSrc); math.Abs(got-1) > 1e-9 {
+		t.Errorf("TM(identical) = %f, want 1", got)
+	}
+	tm := TokenMatch(gtSrc, brokenSrc)
+	if tm <= 0.5 || tm >= 1 {
+		t.Errorf("TM(one-token-difference) = %f, want high but < 1", tm)
+	}
+}
+
+func TestSyntaxMatch(t *testing.T) {
+	if got := SyntaxMatch(gtSrc, gtSrc); math.Abs(got-1) > 1e-9 {
+		t.Errorf("SM(identical) = %f, want 1", got)
+	}
+	sm := SyntaxMatch(gtSrc, brokenSrc)
+	if sm <= 0.3 || sm >= 1 {
+		t.Errorf("SM(small diff) = %f, want in (0.3, 1)", sm)
+	}
+	if got := SyntaxMatch(gtSrc, "not alloy at all {{{"); got != 0 {
+		t.Errorf("SM(non-parsing) = %f, want 0", got)
+	}
+}
+
+func TestSyntaxMatchIgnoresWhitespace(t *testing.T) {
+	spaced := "sig Node { next: lone Node }\n\n\nfact Links {\n    all n: Node | n not in n.next\n}\nassert NoSelf { no n: Node | n in n.next }\ncheck NoSelf for 3\nrun { some Node } for 3"
+	if got := SyntaxMatch(gtSrc, spaced); math.Abs(got-1) > 1e-9 {
+		t.Errorf("SM should ignore layout, got %f", got)
+	}
+}
+
+func TestSMVersusTM(t *testing.T) {
+	// A candidate differing in one operator: SM (structure) should be at
+	// least as forgiving as TM per the paper's observation SM >= TM.
+	sm := SyntaxMatch(gtSrc, brokenSrc)
+	tm := TokenMatch(gtSrc, brokenSrc)
+	if sm < tm-0.2 {
+		t.Errorf("SM (%f) unexpectedly far below TM (%f)", sm, tm)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %f", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %f", got)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, p := Pearson(x, y)
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("r = %f, want 1", r)
+	}
+	if p > 1e-9 {
+		t.Errorf("p = %g, want ~0", p)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, neg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("r = %f, want -1", r)
+	}
+}
+
+func TestPearsonUncorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 2000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = rng.Float64()
+	}
+	r, p := Pearson(x, y)
+	if math.Abs(r) > 0.1 {
+		t.Errorf("independent samples r = %f", r)
+	}
+	if p < 0.001 {
+		t.Errorf("independent samples p = %g, suspiciously significant", p)
+	}
+}
+
+func TestPearsonSignificance(t *testing.T) {
+	// Strong correlation on a large sample must be highly significant.
+	rng := rand.New(rand.NewSource(4))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = x[i] + 0.1*rng.Float64()
+	}
+	r, p := Pearson(x, y)
+	if r < 0.9 {
+		t.Errorf("r = %f, want > 0.9", r)
+	}
+	if p > 0.001 {
+		t.Errorf("p = %g, want < 0.001", p)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	r, _ := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if !math.IsNaN(r) {
+		t.Errorf("zero-variance r = %f, want NaN", r)
+	}
+	r, _ = Pearson([]float64{1}, []float64{2})
+	if !math.IsNaN(r) {
+		t.Errorf("n=1 r = %f, want NaN", r)
+	}
+	r, _ = Pearson([]float64{1, 2}, []float64{1})
+	if !math.IsNaN(r) {
+		t.Errorf("length mismatch r = %f, want NaN", r)
+	}
+}
+
+func TestRegIncBeta(t *testing.T) {
+	// I_x(1,1) = x (uniform distribution CDF).
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-9 {
+			t.Errorf("I_%.2f(1,1) = %f", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.1, 0.3, 0.7} {
+		l := regIncBeta(2, 3, x)
+		r := 1 - regIncBeta(3, 2, 1-x)
+		if math.Abs(l-r) > 1e-9 {
+			t.Errorf("symmetry broken at %f: %f vs %f", x, l, r)
+		}
+	}
+}
+
+func TestStudentT(t *testing.T) {
+	// For df=1 (Cauchy), P(T >= 1) = 0.25.
+	if got := studentTUpperTail(1, 1); math.Abs(got-0.25) > 1e-6 {
+		t.Errorf("P(T>=1, df=1) = %f, want 0.25", got)
+	}
+	// P(T >= 0) = 0.5 for any df.
+	if got := studentTUpperTail(0, 10); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("P(T>=0) = %f, want 0.5", got)
+	}
+	// Large t is very unlikely.
+	if got := studentTUpperTail(10, 30); got > 1e-6 {
+		t.Errorf("P(T>=10, df=30) = %g, want tiny", got)
+	}
+}

@@ -1,0 +1,67 @@
+package mutation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"specrepair/internal/alloy/parser"
+	"specrepair/internal/alloy/printer"
+)
+
+// TestApplyResolveInverse checks, over random (site, candidate) choices,
+// that the node found by Resolve at a site after Apply prints exactly as
+// the replacement — path-based addressing is a faithful inverse.
+func TestApplyResolveInverse(t *testing.T) {
+	mod, err := parser.Parse(`
+sig Node { next: set Node, prev: set Node }
+fact Shape {
+  no n: Node | n in n.next
+  all n: Node | n.prev = next.n
+}
+pred touched[m: Node] {
+  some m.next
+  m in Node
+}
+run touched for 3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := eng.Sites()
+
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(41))}
+	prop := func(siteIdx, candIdx uint) bool {
+		s := sites[int(siteIdx%uint(len(sites)))]
+		cands := eng.Candidates(s, BudgetTemplates)
+		if len(cands) == 0 {
+			return true
+		}
+		repl := cands[int(candIdx%uint(len(cands)))]
+		mutated, err := eng.Apply(s.Site, repl)
+		if err != nil {
+			return false
+		}
+		got, err := Resolve(mutated, s.Site)
+		if err != nil {
+			return false
+		}
+		if printer.Expr(got) != printer.Expr(repl) {
+			t.Logf("site %v: got %q want %q", s.Site, printer.Expr(got), printer.Expr(repl))
+			return false
+		}
+		// The original module is untouched.
+		orig, err := Resolve(eng.Mod, s.Site)
+		if err != nil {
+			return false
+		}
+		return printer.Expr(orig) == printer.Expr(s.Node)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package icebar
+
+import (
+	"specrepair/internal/aunit"
+)
+
+// suiteHas reports whether an equivalent test (same formula, expectation,
+// and valuation) is already present, keyed structurally.
+func suiteHas(suite *aunit.Suite, t *aunit.Test) bool {
+	for _, existing := range suite.Tests {
+		if existing.Formula != t.Formula || existing.Expect != t.Expect {
+			continue
+		}
+		if valuationEqual(existing.Valuation, t.Valuation) {
+			return true
+		}
+	}
+	return false
+}
+
+func valuationEqual(a, b map[string][][]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, tu := range av {
+			seen[key(tu)] = true
+		}
+		for _, tu := range bv {
+			if !seen[key(tu)] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func key(tu []string) string {
+	out := ""
+	for _, a := range tu {
+		out += a + ","
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+// Package multiround reimplements the Multi-Round LLM repair framework
+// (Alhanahnah et al. 2024): a dual-agent loop in which a Repair Agent
+// proposes candidate specifications and, between rounds, the Alloy
+// Analyzer's verdict is fed back at one of three fidelity levels —
+// None (binary "not fixed"), Generic (templated report with
+// counterexamples), or Auto (a second Prompt Agent LLM crafts targeted
+// guidance from the report and the candidate).
+package multiround
+
+import (
+	"fmt"
+
+	"specrepair/internal/alloy/ast"
+	"specrepair/internal/alloy/parser"
+	"specrepair/internal/alloy/printer"
+	"specrepair/internal/analyzer"
+	"specrepair/internal/instance"
+	"specrepair/internal/llm"
+	"specrepair/internal/repair"
+)
+
+// Options configures the technique.
+type Options struct {
+	Feedback llm.FeedbackKind
+	// Rounds caps repair-agent proposals (the study used a small fixed
+	// budget per specification).
+	Rounds int
+	Client llm.Client
+	// Analyzer overrides the default analyzer (mainly for tests).
+	Analyzer *analyzer.Analyzer
+}
+
+// DefaultRounds is the per-spec proposal budget.
+const DefaultRounds = 12
+
+// Tool is the Multi-Round technique under one feedback setting.
+type Tool struct {
+	opts Options
+	an   *analyzer.Analyzer
+}
+
+// New returns the technique. A Client is required.
+func New(opts Options) *Tool {
+	if opts.Rounds == 0 {
+		opts.Rounds = DefaultRounds
+	}
+	if opts.Feedback == 0 {
+		opts.Feedback = llm.FeedbackNone
+	}
+	an := opts.Analyzer
+	if an == nil {
+		an = analyzer.New(analyzer.Options{})
+	}
+	return &Tool{opts: opts, an: an}
+}
+
+var _ repair.Technique = (*Tool)(nil)
+
+// Name implements repair.Technique.
+func (t *Tool) Name() string { return "Multi-Round_" + t.opts.Feedback.String() }
+
+// Repair implements repair.Technique.
+func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
+	out := repair.Outcome{}
+	if t.opts.Client == nil {
+		return out, fmt.Errorf("multi-round: no LLM client configured")
+	}
+
+	msgs := []llm.Message{
+		{Role: llm.RoleSystem, Content: llm.RepairSystemPrompt},
+		{Role: llm.RoleUser, Content: llm.BuildRepairPrompt(printer.Module(p.Faulty), llm.PromptOptions{})},
+	}
+
+	var best *ast.Module
+	for round := 0; round < t.opts.Rounds; round++ {
+		out.Stats.Iterations++
+		reply, err := t.opts.Client.Complete(msgs)
+		if err != nil {
+			return out, fmt.Errorf("multi-round completion: %w", err)
+		}
+		msgs = append(msgs, llm.Message{Role: llm.RoleAssistant, Content: reply})
+		out.Stats.CandidatesTried++
+
+		cand := t.parseCandidate(reply)
+		var feedback string
+		if cand == nil {
+			feedback = llm.BuildNoFeedback()
+		} else {
+			best = cand
+			failed, cex, pass, err := t.validate(cand)
+			out.Stats.AnalyzerCalls++
+			if err == nil && pass {
+				out.Repaired = true
+				out.Candidate = cand
+				return out, nil
+			}
+			feedback, err = t.buildFeedback(cand, failed, cex)
+			if err != nil {
+				feedback = llm.BuildNoFeedback()
+			}
+		}
+		msgs = append(msgs, llm.Message{Role: llm.RoleUser, Content: feedback})
+	}
+	out.Candidate = best
+	return out, nil
+}
+
+func (t *Tool) parseCandidate(reply string) *ast.Module {
+	src, ok := llm.ExtractSpec(reply)
+	if !ok {
+		return nil
+	}
+	cand, err := parser.Parse(src)
+	if err != nil {
+		return nil
+	}
+	return cand
+}
+
+// validate runs all commands, returning the failing command names and the
+// first counterexample (or unexpected instance witness).
+func (t *Tool) validate(cand *ast.Module) (failed []string, cex *instance.Instance, pass bool, err error) {
+	results, err := t.an.ExecuteAll(cand)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	pass = true
+	for _, r := range results {
+		if r.Passed() {
+			continue
+		}
+		pass = false
+		failed = append(failed, r.Command.Name)
+		if cex == nil && r.Sat && r.Instance != nil {
+			cex = r.Instance
+		}
+	}
+	return failed, cex, pass, nil
+}
+
+// buildFeedback renders the between-round message per the feedback level.
+func (t *Tool) buildFeedback(cand *ast.Module, failed []string, cex *instance.Instance) (string, error) {
+	switch t.opts.Feedback {
+	case llm.FeedbackNone:
+		return llm.BuildNoFeedback(), nil
+	case llm.FeedbackGeneric:
+		return llm.BuildGenericFeedback(failed, cex), nil
+	case llm.FeedbackAuto:
+		req := []llm.Message{
+			{Role: llm.RoleSystem, Content: llm.PromptAgentSystemPrompt},
+			{Role: llm.RoleUser, Content: llm.BuildPromptAgentRequest(printer.Module(cand), failed, cex)},
+		}
+		guidance, err := t.opts.Client.Complete(req)
+		if err != nil {
+			return "", err
+		}
+		return llm.BuildAutoFeedback(guidance, failed, cex), nil
+	default:
+		return llm.BuildNoFeedback(), nil
+	}
+}

@@ -1,0 +1,71 @@
+// Package repair defines the common contract implemented by every repair
+// technique in the study — the four traditional tools (ARepair, ICEBAR,
+// BeAFix, ATR) and the LLM-based ones (Single-Round, Multi-Round).
+package repair
+
+import (
+	"specrepair/internal/alloy/ast"
+	"specrepair/internal/analyzer"
+	"specrepair/internal/aunit"
+)
+
+// Problem is one faulty specification to repair.
+type Problem struct {
+	// Name identifies the benchmark entry (e.g. "classroom/inv3_42").
+	Name string
+	// Faulty is the defective module. Tools must not modify it.
+	Faulty *ast.Module
+	// Tests is the AUnit suite accompanying the problem (used by the
+	// test-based tools; may be nil for property-oracle-only problems).
+	Tests *aunit.Suite
+	// Hints carries the metadata the LLM prompt settings draw on. Zero
+	// values mean the hint is unavailable.
+	Hints Hints
+}
+
+// Hints mirrors the informational cues of the Single-Round prompt study:
+// bug location, a fix description, and the oracle assertion to pass.
+type Hints struct {
+	// Location describes where the bug is (paragraph kind and name).
+	Location string `json:"location,omitempty"`
+	// FixDescription sketches the intended fix in prose.
+	FixDescription string `json:"fixDescription,omitempty"`
+	// PassAssertion names the assertion the fix must satisfy.
+	PassAssertion string `json:"passAssertion,omitempty"`
+}
+
+// Stats aggregates the effort a technique spent.
+type Stats struct {
+	CandidatesTried int
+	AnalyzerCalls   int
+	TestRuns        int
+	Iterations      int
+}
+
+// Outcome is a technique's result on one problem.
+type Outcome struct {
+	// Repaired reports success per the technique's own oracle (tests for
+	// ARepair, property commands for the others). The study's REP metric
+	// re-validates candidates against the ground truth independently.
+	Repaired bool
+	// Candidate is the best module produced (nil when the technique gave
+	// up without producing anything).
+	Candidate *ast.Module
+	Stats     Stats
+}
+
+// Technique is a repair tool.
+type Technique interface {
+	// Name returns the technique's display name as used in the paper's
+	// tables (e.g. "ARepair", "Multi-Round_Generic").
+	Name() string
+	// Repair attempts to fix the problem.
+	Repair(p Problem) (Outcome, error)
+}
+
+// OracleAllCommandsPass reports whether every command of the module meets
+// its expectation — the property-based repair oracle shared by ICEBAR,
+// BeAFix, and ATR. It stops at the first failing command.
+func OracleAllCommandsPass(a *analyzer.Analyzer, mod *ast.Module) (bool, error) {
+	return a.PassesAll(mod)
+}

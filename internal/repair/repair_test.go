@@ -1,0 +1,313 @@
+package repair_test
+
+import (
+	"testing"
+
+	"specrepair/internal/alloy/ast"
+	"specrepair/internal/alloy/parser"
+	"specrepair/internal/alloy/printer"
+	"specrepair/internal/analyzer"
+	"specrepair/internal/aunit"
+	"specrepair/internal/repair"
+	"specrepair/internal/repair/arepair"
+	"specrepair/internal/repair/atr"
+	"specrepair/internal/repair/beafix"
+	"specrepair/internal/repair/icebar"
+)
+
+// The running example: the intended invariant is "no node links to itself",
+// but the faulty fact demands the opposite.
+const faultySrc = `
+sig Node { next: lone Node }
+fact Links { all n: Node | n in n.next }
+assert NoSelf { no n: Node | n in n.next }
+check NoSelf for 3
+run { some Node } for 3
+`
+
+const groundTruthSrc = `
+sig Node { next: lone Node }
+fact Links { all n: Node | n not in n.next }
+assert NoSelf { no n: Node | n in n.next }
+check NoSelf for 3
+run { some Node } for 3
+`
+
+func mustParse(t *testing.T, src string) *ast.Module {
+	t.Helper()
+	mod, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// testSuite captures the intent against whatever facts the candidate has:
+// chains without self loops must be accepted, self loops rejected, the
+// empty instance accepted.
+func testSuite() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "chain_accepted",
+		Valuation: map[string][][]string{
+			"Node": {{"N0"}, {"N1"}},
+			"next": {{"N0", "N1"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "selfloop_rejected",
+		Valuation: map[string][][]string{
+			"Node": {{"N0"}},
+			"next": {{"N0", "N0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	s.Add(&aunit.Test{
+		Name: "empty_accepted",
+		Valuation: map[string][][]string{
+			"Node": {},
+			"next": {},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	return s
+}
+
+func problem(t *testing.T) repair.Problem {
+	return repair.Problem{
+		Name:   "noself",
+		Faulty: mustParse(t, faultySrc),
+		Tests:  testSuite(),
+	}
+}
+
+func assertEquisatWithGT(t *testing.T, cand *ast.Module) {
+	t.Helper()
+	a := analyzer.New(analyzer.Options{})
+	eq, err := a.Equisat(mustParse(t, groundTruthSrc), cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("candidate is not equisatisfiable with ground truth:\n%s", printer.Module(cand))
+	}
+}
+
+func TestARepairFixesWithTests(t *testing.T) {
+	tool := arepair.New(arepair.Options{})
+	out, err := tool.Repair(problem(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Candidate == nil {
+		t.Fatal("no candidate produced")
+	}
+	if !out.Repaired {
+		t.Fatalf("ARepair did not satisfy its tests; candidate:\n%s", printer.Module(out.Candidate))
+	}
+	if out.Stats.TestRuns == 0 || out.Stats.CandidatesTried == 0 {
+		t.Errorf("stats not populated: %+v", out.Stats)
+	}
+}
+
+func TestARepairRequiresTests(t *testing.T) {
+	tool := arepair.New(arepair.Options{})
+	_, err := tool.Repair(repair.Problem{Name: "x", Faulty: mustParse(t, faultySrc)})
+	if err == nil {
+		t.Error("ARepair without tests should error")
+	}
+}
+
+func TestARepairAlreadyPassing(t *testing.T) {
+	tool := arepair.New(arepair.Options{})
+	p := repair.Problem{
+		Name:   "ok",
+		Faulty: mustParse(t, groundTruthSrc),
+		Tests:  testSuite(),
+	}
+	// All three tests pass on the ground truth.
+	out, err := tool.Repair(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repaired {
+		t.Error("already-passing model should be reported repaired")
+	}
+}
+
+func TestBeAFixRepairsAgainstPropertyOracle(t *testing.T) {
+	tool := beafix.New(beafix.Options{})
+	out, err := tool.Repair(repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repaired {
+		t.Fatalf("BeAFix failed; tried %d candidates", out.Stats.CandidatesTried)
+	}
+	assertEquisatWithGT(t, out.Candidate)
+}
+
+func TestBeAFixWithoutPruning(t *testing.T) {
+	tool := beafix.New(beafix.Options{DisablePruning: true})
+	out, err := tool.Repair(repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repaired {
+		t.Fatal("BeAFix without pruning should still repair (just slower)")
+	}
+	assertEquisatWithGT(t, out.Candidate)
+}
+
+func TestBeAFixPruningReducesWork(t *testing.T) {
+	pruned := beafix.New(beafix.Options{})
+	unpruned := beafix.New(beafix.Options{DisablePruning: true})
+	outP, err := pruned.Repair(repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outU, err := unpruned.Repair(repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outP.Stats.AnalyzerCalls > outU.Stats.AnalyzerCalls {
+		t.Errorf("pruning should not increase analyzer calls: pruned=%d unpruned=%d",
+			outP.Stats.AnalyzerCalls, outU.Stats.AnalyzerCalls)
+	}
+}
+
+func TestBeAFixAlreadyCorrect(t *testing.T) {
+	tool := beafix.New(beafix.Options{})
+	out, err := tool.Repair(repair.Problem{Name: "ok", Faulty: mustParse(t, groundTruthSrc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repaired {
+		t.Error("correct module should pass the oracle immediately")
+	}
+}
+
+func TestICEBARRepairsViaIteration(t *testing.T) {
+	tool := icebar.New(icebar.Options{})
+	out, err := tool.Repair(repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repaired {
+		candidate := "<nil>"
+		if out.Candidate != nil {
+			candidate = printer.Module(out.Candidate)
+		}
+		t.Fatalf("ICEBAR failed after %d iterations; candidate:\n%s", out.Stats.Iterations, candidate)
+	}
+	assertEquisatWithGT(t, out.Candidate)
+}
+
+func TestICEBARUsesProvidedTests(t *testing.T) {
+	tool := icebar.New(icebar.Options{})
+	out, err := tool.Repair(problem(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repaired {
+		t.Fatal("ICEBAR with seed tests should repair")
+	}
+	assertEquisatWithGT(t, out.Candidate)
+}
+
+func TestATRRepairs(t *testing.T) {
+	tool := atr.New(atr.Options{})
+	out, err := tool.Repair(repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repaired {
+		t.Fatalf("ATR failed; tried %d candidates", out.Stats.CandidatesTried)
+	}
+	assertEquisatWithGT(t, out.Candidate)
+}
+
+func TestATRAlreadyCorrect(t *testing.T) {
+	tool := atr.New(atr.Options{})
+	out, err := tool.Repair(repair.Problem{Name: "ok", Faulty: mustParse(t, groundTruthSrc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repaired {
+		t.Error("correct module should pass immediately")
+	}
+}
+
+// A second fault class: wrong relation referenced.
+const wrongRelSrc = `
+sig Person { boss: lone Person, report: set Person }
+fact Mirror { all p: Person | p.report = boss.p }
+fact Bug { all p: Person | p not in p.report }
+assert NoSelfBoss { no p: Person | p in p.boss }
+check NoSelfBoss for 3
+`
+
+func TestBeAFixWrongRelation(t *testing.T) {
+	// The assertion fails because nothing constrains boss; the fix space
+	// includes mutating Bug to speak about boss.
+	tool := beafix.New(beafix.Options{})
+	out, err := tool.Repair(repair.Problem{Name: "wrongrel", Faulty: mustParse(t, wrongRelSrc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repaired {
+		t.Fatalf("BeAFix should find a relation substitution; tried %d", out.Stats.CandidatesTried)
+	}
+	// The repaired module must make the check pass.
+	a := analyzer.New(analyzer.Options{})
+	ok, err := repair.OracleAllCommandsPass(a, out.Candidate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("oracle fails on claimed repair:\n%s", printer.Module(out.Candidate))
+	}
+}
+
+func TestOutcomesDeterministic(t *testing.T) {
+	for _, mk := range []func() repair.Technique{
+		func() repair.Technique { return beafix.New(beafix.Options{}) },
+		func() repair.Technique { return atr.New(atr.Options{}) },
+	} {
+		t1, t2 := mk(), mk()
+		o1, err1 := t1.Repair(repair.Problem{Name: "d", Faulty: mustParse(t, faultySrc)})
+		o2, err2 := t2.Repair(repair.Problem{Name: "d", Faulty: mustParse(t, faultySrc)})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if o1.Repaired != o2.Repaired {
+			t.Fatalf("%s nondeterministic repair verdict", t1.Name())
+		}
+		if o1.Candidate != nil && o2.Candidate != nil &&
+			printer.Module(o1.Candidate) != printer.Module(o2.Candidate) {
+			t.Errorf("%s produced different candidates across runs", t1.Name())
+		}
+	}
+}
+
+func TestOracleAllCommandsPass(t *testing.T) {
+	a := analyzer.New(analyzer.Options{})
+	ok, err := repair.OracleAllCommandsPass(a, mustParse(t, groundTruthSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("ground truth should pass its own oracle")
+	}
+	ok, err = repair.OracleAllCommandsPass(a, mustParse(t, faultySrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("faulty module should fail its oracle")
+	}
+}

@@ -1,0 +1,113 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIncrementalDifferential stresses the incremental interface the
+// analyzer relies on: interleaved AddClause and Solve-under-assumptions
+// calls on one solver must agree, at every step, with a fresh naive solver
+// over the same clauses and assumptions.
+func TestIncrementalDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 60; iter++ {
+		numVars := 5 + rng.Intn(8)
+		inc := NewSolver(Options{})
+		for v := 0; v < numVars; v++ {
+			inc.NewVar()
+		}
+		var clauses [][]Lit
+		sawUnsat := false
+
+		for step := 0; step < 12; step++ {
+			// Add a batch of random clauses.
+			batch := 1 + rng.Intn(4)
+			for i := 0; i < batch; i++ {
+				cl := randomCNF(rng, numVars, 1, 1+rng.Intn(3))[0]
+				clauses = append(clauses, cl)
+				inc.AddClause(cl...)
+			}
+			// Random assumptions for this query.
+			var assumptions []Lit
+			seen := map[int]bool{}
+			for len(assumptions) < rng.Intn(3) {
+				v := rng.Intn(numVars)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				assumptions = append(assumptions, MkLit(v, rng.Intn(2) == 0))
+			}
+
+			got := inc.Solve(assumptions...)
+
+			ref := NewNaive()
+			for v := 0; v < numVars; v++ {
+				ref.NewVar()
+			}
+			for _, cl := range clauses {
+				ref.AddClause(cl...)
+			}
+			want, _ := ref.Solve(assumptions...)
+
+			if got != want {
+				t.Fatalf("iter %d step %d: incremental=%v reference=%v (%d clauses, assumptions %v)",
+					iter, step, got, want, len(clauses), assumptions)
+			}
+			if got == StatusSat {
+				// The model must satisfy all clauses and assumptions.
+				model := inc.Model()
+				checkModel(t, clauses, model)
+				for _, a := range assumptions {
+					v := model[a.Var()]
+					if (v == True) == a.IsNeg() {
+						t.Fatalf("iter %d step %d: model violates assumption %v", iter, step, a)
+					}
+				}
+			}
+			if got == StatusUnsat && len(assumptions) == 0 {
+				sawUnsat = true
+				break // permanently unsat; adding clauses cannot recover
+			}
+		}
+		_ = sawUnsat
+	}
+}
+
+// TestGateLiteralPattern mirrors how the analyzer uses gates: several goal
+// literals over one base formula, each solved under its own assumption.
+func TestGateLiteralPattern(t *testing.T) {
+	s := NewSolver(Options{})
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	// Base: a or b.
+	s.AddClause(PosLit(a), PosLit(b))
+	// Gate g1 <-> (a and not b); gate g2 <-> (not a and not b) [unsat with base].
+	g1, g2 := s.NewVar(), s.NewVar()
+	// g1 -> a, g1 -> !b, (a and !b) -> g1
+	s.AddClause(NegLit(g1), PosLit(a))
+	s.AddClause(NegLit(g1), NegLit(b))
+	s.AddClause(NegLit(a), PosLit(b), PosLit(g1))
+	// g2 -> !a, g2 -> !b, (!a and !b) -> g2
+	s.AddClause(NegLit(g2), NegLit(a))
+	s.AddClause(NegLit(g2), NegLit(b))
+	s.AddClause(PosLit(a), PosLit(b), PosLit(g2))
+
+	if st := s.Solve(PosLit(g1)); st != StatusSat {
+		t.Fatalf("gate1 = %v, want SAT", st)
+	}
+	if !s.ModelValue(a) || s.ModelValue(b) {
+		t.Error("gate1 model should have a=true b=false")
+	}
+	if st := s.Solve(PosLit(g2)); st != StatusUnsat {
+		t.Fatalf("gate2 = %v, want UNSAT (conflicts with base)", st)
+	}
+	// And the solver is still usable afterwards.
+	if st := s.Solve(PosLit(g1)); st != StatusSat {
+		t.Fatalf("gate1 again = %v, want SAT", st)
+	}
+	if st := s.Solve(); st != StatusSat {
+		t.Fatalf("unconstrained = %v, want SAT", st)
+	}
+	_ = c
+}

@@ -1,0 +1,137 @@
+package sat
+
+// Naive is a straightforward DPLL solver (unit propagation + chronological
+// backtracking, no learning, no watched literals). It exists as a reference
+// implementation for differential testing of the CDCL solver and as the
+// baseline for the SAT ablation benchmark.
+type Naive struct {
+	numVars int
+	clauses [][]Lit
+	empty   bool
+}
+
+// NewNaive returns an empty naive solver.
+func NewNaive() *Naive { return &Naive{} }
+
+// NewVar allocates a fresh variable and returns its index.
+func (n *Naive) NewVar() int {
+	v := n.numVars
+	n.numVars++
+	return v
+}
+
+// AddClause adds a clause, growing the variable space as needed.
+func (n *Naive) AddClause(lits ...Lit) bool {
+	for _, l := range lits {
+		if l.Var() >= n.numVars {
+			n.numVars = l.Var() + 1
+		}
+	}
+	if len(lits) == 0 {
+		n.empty = true
+		return false
+	}
+	n.clauses = append(n.clauses, append([]Lit(nil), lits...))
+	return true
+}
+
+// Solve performs exhaustive DPLL search. Assumptions are applied as initial
+// unit clauses.
+func (n *Naive) Solve(assumptions ...Lit) (Status, []Tribool) {
+	if n.empty {
+		return StatusUnsat, nil
+	}
+	assign := make([]Tribool, n.numVars)
+	for _, a := range assumptions {
+		want := True
+		if a.IsNeg() {
+			want = False
+		}
+		cur := assign[a.Var()]
+		if cur != Unassigned && cur != want {
+			return StatusUnsat, nil
+		}
+		assign[a.Var()] = want
+	}
+	if n.dpll(assign) {
+		return StatusSat, assign
+	}
+	return StatusUnsat, nil
+}
+
+func litValue(assign []Tribool, l Lit) Tribool {
+	v := assign[l.Var()]
+	if v == Unassigned {
+		return Unassigned
+	}
+	if l.IsNeg() {
+		return -v
+	}
+	return v
+}
+
+// unitPropagate applies unit propagation in place; it returns false on
+// conflict.
+func (n *Naive) unitPropagate(assign []Tribool) bool {
+	for changed := true; changed; {
+		changed = false
+		for _, c := range n.clauses {
+			unassigned := -1
+			count := 0
+			satisfied := false
+			for _, l := range c {
+				switch litValue(assign, l) {
+				case True:
+					satisfied = true
+				case Unassigned:
+					unassigned = int(l)
+					count++
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch count {
+			case 0:
+				return false
+			case 1:
+				l := Lit(unassigned)
+				if l.IsNeg() {
+					assign[l.Var()] = False
+				} else {
+					assign[l.Var()] = True
+				}
+				changed = true
+			}
+		}
+	}
+	return true
+}
+
+func (n *Naive) dpll(assign []Tribool) bool {
+	if !n.unitPropagate(assign) {
+		return false
+	}
+	v := -1
+	for i, a := range assign {
+		if a == Unassigned {
+			v = i
+			break
+		}
+	}
+	if v < 0 {
+		return true
+	}
+	for _, val := range []Tribool{True, False} {
+		trial := append([]Tribool(nil), assign...)
+		trial[v] = val
+		if n.dpll(trial) {
+			copy(assign, trial)
+			return true
+		}
+	}
+	return false
+}

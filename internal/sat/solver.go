@@ -1,0 +1,628 @@
+package sat
+
+import (
+	"sort"
+)
+
+// Options configures a Solver. The zero value selects full CDCL with an
+// unlimited conflict budget.
+type Options struct {
+	// MaxConflicts aborts the search with StatusUnknown after this many
+	// conflicts; 0 means unlimited.
+	MaxConflicts int64
+	// DisableLearning turns off clause learning (the solver still backtracks
+	// chronologically on conflicts). Used by the ablation benchmarks.
+	DisableLearning bool
+	// DisableVSIDS replaces activity-ordered branching with lowest-index
+	// branching. Used by the ablation benchmarks.
+	DisableVSIDS bool
+}
+
+type clause struct {
+	lits   []Lit
+	learnt bool
+	act    float64
+}
+
+type watcher struct {
+	clauseID int
+	blocker  Lit
+}
+
+// Solver is a CDCL SAT solver. It is not safe for concurrent use.
+type Solver struct {
+	opts Options
+
+	numVars int
+	clauses []*clause
+	watches [][]watcher // indexed by literal
+
+	assigns  []Tribool // per var
+	level    []int     // decision level per var
+	reason   []int     // clause id per var, -1 if decision/unset
+	polarity []bool    // saved phase per var (true = last assigned true)
+
+	trail    []Lit
+	trailLim []int // trail index at each decision level
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+
+	clauseInc float64
+
+	unsatisfiable bool // an empty clause was added
+
+	// Statistics.
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learned      int64
+
+	seen     []bool
+	anaStack []Lit
+	anaToClr []Lit
+	model    []Tribool
+}
+
+// NewSolver returns a solver with the given options.
+func NewSolver(opts Options) *Solver {
+	s := &Solver{opts: opts, varInc: 1.0, clauseInc: 1.0}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := s.numVars
+	s.numVars++
+	s.watches = append(s.watches, nil, nil)
+	s.assigns = append(s.assigns, Unassigned)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.polarity = append(s.polarity, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.order.push(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// NumClauses returns the number of problem (non-learnt) clauses.
+func (s *Solver) NumClauses() int {
+	n := 0
+	for _, c := range s.clauses {
+		if !c.learnt {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Solver) value(l Lit) Tribool {
+	v := s.assigns[l.Var()]
+	if v == Unassigned {
+		return Unassigned
+	}
+	if l.IsNeg() {
+		return -v
+	}
+	return v
+}
+
+// AddClause adds a problem clause. It returns false if the clause database
+// became trivially unsatisfiable (an empty clause after simplification at
+// decision level zero).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsatisfiable {
+		return false
+	}
+	// Must be at decision level 0.
+	sorted := append([]Lit(nil), lits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:0]
+	var prev Lit = -1
+	for _, l := range sorted {
+		if l.Var() >= s.numVars {
+			for s.numVars <= l.Var() {
+				s.NewVar()
+			}
+		}
+		if s.value(l) == True || (prev >= 0 && l == prev.Not()) {
+			return true // satisfied or tautological
+		}
+		if s.value(l) == False || l == prev {
+			continue // falsified at level 0 or duplicate
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.unsatisfiable = true
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], -1)
+		if s.propagate() != -1 {
+			s.unsatisfiable = true
+			return false
+		}
+		return true
+	default:
+		s.attachClause(&clause{lits: append([]Lit(nil), out...)})
+		return true
+	}
+}
+
+func (s *Solver) attachClause(c *clause) int {
+	id := len(s.clauses)
+	s.clauses = append(s.clauses, c)
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{id, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{id, c.lits[0]})
+	return id
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) uncheckedEnqueue(l Lit, reasonID int) {
+	v := l.Var()
+	if l.IsNeg() {
+		s.assigns[v] = False
+	} else {
+		s.assigns[v] = True
+	}
+	s.polarity[v] = !l.IsNeg()
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = reasonID
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns the id of a conflicting
+// clause, or -1 if no conflict was found.
+func (s *Solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is now true
+		s.qhead++
+		s.Propagations++
+		falsified := p.Not()
+		ws := s.watches[p]
+		kept := ws[:0]
+		conflict := -1
+		for wi := 0; wi < len(ws); wi++ {
+			w := ws[wi]
+			if conflict >= 0 {
+				kept = append(kept, ws[wi:]...)
+				break
+			}
+			if s.value(w.blocker) == True {
+				kept = append(kept, w)
+				continue
+			}
+			c := s.clauses[w.clauseID]
+			// Ensure the falsified literal is lits[1].
+			if c.lits[0] == falsified {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == True {
+				kept = append(kept, watcher{w.clauseID, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != False {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{w.clauseID, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{w.clauseID, first})
+			if s.value(first) == False {
+				conflict = w.clauseID
+				s.qhead = len(s.trail)
+			} else {
+				s.uncheckedEnqueue(first, w.clauseID)
+			}
+		}
+		s.watches[p] = kept
+		if conflict >= 0 {
+			return conflict
+		}
+	}
+	return -1
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (with the asserting literal first) and the backjump level.
+func (s *Solver) analyze(conflictID int) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	cID := conflictID
+
+	for {
+		c := s.clauses[cID]
+		if c.learnt {
+			s.bumpClause(c)
+		}
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] >= s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next literal on the trail to expand.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		cID = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Cheap clause minimization: drop literals implied by the rest. The
+	// seen flags of dropped literals must be cleared too, so collect the
+	// full pre-minimization set first.
+	toClear := append(s.anaToClr[:0], learnt...)
+	minimized := learnt[:1]
+	for _, l := range learnt[1:] {
+		if !s.redundant(l) {
+			minimized = append(minimized, l)
+		}
+	}
+	learnt = minimized
+
+	for _, l := range toClear {
+		s.seen[l.Var()] = false
+	}
+	s.anaToClr = toClear
+
+	backLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		backLevel = s.level[learnt[1].Var()]
+	}
+	return learnt, backLevel
+}
+
+// redundant reports whether literal l's reason clause consists only of
+// literals already seen (a one-step self-subsumption test).
+func (s *Solver) redundant(l Lit) bool {
+	rID := s.reason[l.Var()]
+	if rID < 0 {
+		return false
+	}
+	for _, q := range s.clauses[rID].lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if !s.seen[q.Var()] && s.level[q.Var()] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.clauseInc
+	if c.act > 1e20 {
+		for _, cl := range s.clauses {
+			if cl.learnt {
+				cl.act *= 1e-20
+			}
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assigns[v] = Unassigned
+		s.reason[v] = -1
+		if !s.order.contains(v) {
+			s.order.push(v)
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranchVar() int {
+	if s.opts.DisableVSIDS {
+		for v := 0; v < s.numVars; v++ {
+			if s.assigns[v] == Unassigned {
+				return v
+			}
+		}
+		return -1
+	}
+	for s.order.len() > 0 {
+		v := s.order.pop()
+		if s.assigns[v] == Unassigned {
+			return v
+		}
+	}
+	return -1
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		pow := int64(1) << uint(k)
+		if i == pow-1 {
+			return pow / 2
+		}
+		if i < pow-1 {
+			return luby(i - pow/2 + 1)
+		}
+	}
+}
+
+// Solve searches for a satisfying assignment consistent with the given
+// assumption literals.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if s.unsatisfiable {
+		return StatusUnsat
+	}
+	defer s.cancelUntil(0)
+
+	var restartNum int64
+	conflictsAtStart := s.Conflicts
+	for {
+		restartNum++
+		budget := luby(restartNum) * 100
+		if s.opts.DisableLearning {
+			// Without learning a restart would discard all progress and the
+			// search could cycle forever; run restart-free instead.
+			budget = 0
+		}
+		st := s.search(assumptions, budget)
+		if st != StatusUnknown {
+			return st
+		}
+		if s.opts.MaxConflicts > 0 && s.Conflicts-conflictsAtStart >= s.opts.MaxConflicts {
+			return StatusUnknown
+		}
+	}
+}
+
+// search runs CDCL until a verdict, a restart (conflict budget reached), or
+// the global conflict limit.
+func (s *Solver) search(assumptions []Lit, budget int64) Status {
+	var conflictsHere int64
+	for {
+		conflictID := s.propagate()
+		if conflictID >= 0 {
+			s.Conflicts++
+			conflictsHere++
+			if s.decisionLevel() == 0 {
+				// A root-level conflict is permanent: latch it so later
+				// incremental Solve calls (whose propagation queue has
+				// already passed this point) stay UNSAT.
+				s.unsatisfiable = true
+				return StatusUnsat
+			}
+			if s.opts.DisableLearning {
+				// Chronological backtracking: flip the last decision.
+				lastDecision := s.trail[s.trailLim[s.decisionLevel()-1]]
+				s.cancelUntil(s.decisionLevel() - 1)
+				if s.decisionLevel() < len(assumptions) {
+					return StatusUnsat
+				}
+				s.uncheckedEnqueue(lastDecision.Not(), -1)
+				continue
+			}
+			// Backjumping may land below the assumption levels; the search
+			// loop re-applies pending assumptions afterwards, returning
+			// UNSAT if one of them has become false.
+			learnt, backLevel := s.analyze(conflictID)
+			s.cancelUntil(backLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], -1)
+			} else {
+				id := s.attachClause(&clause{lits: learnt, learnt: true})
+				s.Learned++
+				s.bumpClause(s.clauses[id])
+				s.uncheckedEnqueue(learnt[0], id)
+			}
+			s.varInc /= 0.95
+			continue
+		}
+
+		if budget > 0 && conflictsHere >= budget {
+			s.cancelUntil(len(assumptions))
+			return StatusUnknown
+		}
+		if s.opts.MaxConflicts > 0 && s.Conflicts >= s.opts.MaxConflicts {
+			return StatusUnknown
+		}
+
+		// Apply pending assumptions as pseudo-decisions.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case True:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case False:
+				return StatusUnsat
+			default:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.uncheckedEnqueue(a, -1)
+				continue
+			}
+		}
+
+		v := s.pickBranchVar()
+		if v < 0 {
+			s.saveModel()
+			return StatusSat
+		}
+		s.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(MkLit(v, !s.polarity[v]), -1)
+	}
+}
+
+func (s *Solver) saveModel() {
+	s.model = append(s.model[:0], s.assigns...)
+}
+
+// Model returns the satisfying assignment found by the last successful
+// Solve. Indexing is by variable.
+func (s *Solver) Model() []Tribool { return append([]Tribool(nil), s.model...) }
+
+// ModelValue returns the last model's value for variable v (False if the
+// variable was unconstrained).
+func (s *Solver) ModelValue(v int) bool {
+	if v < len(s.model) {
+		return s.model[v] == True
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Variable order heap (max-heap on activity).
+// ---------------------------------------------------------------------------
+
+type varHeap struct {
+	act  *[]float64
+	heap []int
+	pos  []int // var -> heap index, -1 if absent
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act}
+}
+
+func (h *varHeap) len() int { return len(h.heap) }
+
+func (h *varHeap) less(i, j int) bool {
+	return (*h.act)[h.heap[i]] > (*h.act)[h.heap[j]]
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}
+
+func (h *varHeap) contains(v int) bool {
+	return v < len(h.pos) && h.pos[v] >= 0
+}
+
+func (h *varHeap) push(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.pos[v] = -1
+	h.heap = h.heap[:last]
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) update(v int) {
+	if h.contains(v) {
+		h.up(h.pos[v])
+	}
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.heap) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.heap) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,331 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLitBasics(t *testing.T) {
+	l := PosLit(3)
+	if l.Var() != 3 || l.IsNeg() {
+		t.Errorf("PosLit(3) = %v", l)
+	}
+	n := l.Not()
+	if n.Var() != 3 || !n.IsNeg() {
+		t.Errorf("Not = %v", n)
+	}
+	if n.Not() != l {
+		t.Error("double negation should be identity")
+	}
+	if NegLit(0).String() != "-1" || PosLit(0).String() != "1" {
+		t.Errorf("String: %s %s", NegLit(0), PosLit(0))
+	}
+}
+
+func TestSolveTrivial(t *testing.T) {
+	s := NewSolver(Options{})
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	s.AddClause(NegLit(a))
+	if st := s.Solve(); st != StatusSat {
+		t.Fatalf("status = %v", st)
+	}
+	if !s.ModelValue(b) || s.ModelValue(a) {
+		t.Errorf("model: a=%v b=%v, want a=false b=true", s.ModelValue(a), s.ModelValue(b))
+	}
+}
+
+func TestSolveUnsatPair(t *testing.T) {
+	s := NewSolver(Options{})
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	s.AddClause(NegLit(a))
+	if st := s.Solve(); st != StatusUnsat {
+		t.Fatalf("status = %v, want UNSAT", st)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := NewSolver(Options{})
+	if ok := s.AddClause(); ok {
+		t.Error("empty clause should report failure")
+	}
+	if st := s.Solve(); st != StatusUnsat {
+		t.Errorf("status = %v", st)
+	}
+}
+
+func TestNoClausesSat(t *testing.T) {
+	s := NewSolver(Options{})
+	s.NewVar()
+	if st := s.Solve(); st != StatusSat {
+		t.Errorf("status = %v", st)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := NewSolver(Options{})
+	a := s.NewVar()
+	s.AddClause(PosLit(a), NegLit(a))
+	s.AddClause(NegLit(a))
+	if st := s.Solve(); st != StatusSat {
+		t.Errorf("status = %v", st)
+	}
+}
+
+// pigeonhole encodes PHP(n+1, n): n+1 pigeons in n holes, always UNSAT and
+// exponentially hard for resolution without learning shortcuts — a classic
+// CDCL stress test.
+func pigeonhole(s interface {
+	NewVar() int
+	AddClause(...Lit) bool
+}, pigeons, holes int) {
+	vars := make([][]int, pigeons)
+	for p := range vars {
+		vars[p] = make([]int, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		cl := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := NewSolver(Options{})
+		pigeonhole(s, n+1, n)
+		if st := s.Solve(); st != StatusUnsat {
+			t.Errorf("PHP(%d,%d) = %v, want UNSAT", n+1, n, st)
+		}
+	}
+}
+
+func TestPigeonholeSatWhenEnoughHoles(t *testing.T) {
+	s := NewSolver(Options{})
+	pigeonhole(s, 4, 4)
+	if st := s.Solve(); st != StatusSat {
+		t.Errorf("PHP(4,4) = %v, want SAT", st)
+	}
+}
+
+func randomCNF(rng *rand.Rand, numVars, numClauses, width int) [][]Lit {
+	cnf := make([][]Lit, 0, numClauses)
+	for i := 0; i < numClauses; i++ {
+		seen := map[int]bool{}
+		var cl []Lit
+		for len(cl) < width {
+			v := rng.Intn(numVars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			cl = append(cl, MkLit(v, rng.Intn(2) == 0))
+		}
+		cnf = append(cnf, cl)
+	}
+	return cnf
+}
+
+func checkModel(t *testing.T, cnf [][]Lit, model []Tribool) {
+	t.Helper()
+	for _, cl := range cnf {
+		sat := false
+		for _, l := range cl {
+			v := model[l.Var()]
+			if (v == True && !l.IsNeg()) || (v == False && l.IsNeg()) {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			t.Fatalf("model does not satisfy clause %v", cl)
+		}
+	}
+}
+
+// TestDifferentialRandom3SAT cross-checks CDCL against the naive DPLL
+// reference on random instances around the phase-transition ratio.
+func TestDifferentialRandom3SAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		numVars := 5 + rng.Intn(12)
+		numClauses := int(float64(numVars) * (2.0 + rng.Float64()*3.0))
+		cnf := randomCNF(rng, numVars, numClauses, 3)
+
+		cdcl := NewSolver(Options{})
+		naive := NewNaive()
+		for v := 0; v < numVars; v++ {
+			cdcl.NewVar()
+			naive.NewVar()
+		}
+		for _, cl := range cnf {
+			cdcl.AddClause(cl...)
+			naive.AddClause(cl...)
+		}
+		got := cdcl.Solve()
+		want, _ := naive.Solve()
+		if got != want {
+			t.Fatalf("iter %d: CDCL=%v naive=%v for %d vars %d clauses", iter, got, want, numVars, numClauses)
+		}
+		if got == StatusSat {
+			checkModel(t, cnf, cdcl.Model())
+		}
+	}
+}
+
+// TestDifferentialAssumptions checks that solving under assumptions agrees
+// with adding the assumptions as unit clauses.
+func TestDifferentialAssumptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		numVars := 5 + rng.Intn(8)
+		cnf := randomCNF(rng, numVars, numVars*3, 3)
+		nAssume := 1 + rng.Intn(3)
+		var assumptions []Lit
+		seen := map[int]bool{}
+		for len(assumptions) < nAssume {
+			v := rng.Intn(numVars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			assumptions = append(assumptions, MkLit(v, rng.Intn(2) == 0))
+		}
+
+		withAssume := NewSolver(Options{})
+		withUnits := NewSolver(Options{})
+		for v := 0; v < numVars; v++ {
+			withAssume.NewVar()
+			withUnits.NewVar()
+		}
+		for _, cl := range cnf {
+			withAssume.AddClause(cl...)
+			withUnits.AddClause(cl...)
+		}
+		for _, a := range assumptions {
+			withUnits.AddClause(a)
+		}
+		got := withAssume.Solve(assumptions...)
+		want := withUnits.Solve()
+		if got != want {
+			t.Fatalf("iter %d: assume=%v units=%v (assumptions %v)", iter, got, want, assumptions)
+		}
+		if got == StatusSat {
+			model := withAssume.Model()
+			for _, a := range assumptions {
+				v := model[a.Var()]
+				ok := (v == True && !a.IsNeg()) || (v == False && a.IsNeg())
+				if !ok {
+					t.Fatalf("iter %d: model violates assumption %v", iter, a)
+				}
+			}
+			checkModel(t, cnf, model)
+		}
+	}
+}
+
+// TestSolverReusableAfterAssumptions verifies incremental use: solving under
+// contradictory assumptions must not poison later solves.
+func TestSolverReusableAfterAssumptions(t *testing.T) {
+	s := NewSolver(Options{})
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	if st := s.Solve(NegLit(a), NegLit(b)); st != StatusUnsat {
+		t.Fatalf("under assumptions: %v, want UNSAT", st)
+	}
+	if st := s.Solve(); st != StatusSat {
+		t.Fatalf("without assumptions: %v, want SAT", st)
+	}
+	if st := s.Solve(NegLit(a)); st != StatusSat {
+		t.Fatalf("single assumption: %v, want SAT", st)
+	}
+	if !s.ModelValue(b) {
+		t.Error("b must be true when a is assumed false")
+	}
+}
+
+func TestDisabledHeuristicsStillCorrect(t *testing.T) {
+	for _, opts := range []Options{
+		{DisableLearning: true},
+		{DisableVSIDS: true},
+		{DisableLearning: true, DisableVSIDS: true},
+	} {
+		rng := rand.New(rand.NewSource(99))
+		for iter := 0; iter < 60; iter++ {
+			numVars := 4 + rng.Intn(8)
+			cnf := randomCNF(rng, numVars, numVars*4, 3)
+			s := NewSolver(opts)
+			naive := NewNaive()
+			for v := 0; v < numVars; v++ {
+				s.NewVar()
+				naive.NewVar()
+			}
+			for _, cl := range cnf {
+				s.AddClause(cl...)
+				naive.AddClause(cl...)
+			}
+			got := s.Solve()
+			want, _ := naive.Solve()
+			if got != want {
+				t.Fatalf("opts %+v iter %d: got %v want %v", opts, iter, got, want)
+			}
+		}
+	}
+}
+
+func TestMaxConflictsBudget(t *testing.T) {
+	s := NewSolver(Options{MaxConflicts: 5})
+	pigeonhole(s, 9, 8) // hard enough to exceed 5 conflicts
+	if st := s.Solve(); st != StatusUnknown {
+		t.Errorf("status = %v, want UNKNOWN under tiny budget", st)
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	s := NewSolver(Options{})
+	pigeonhole(s, 5, 4)
+	s.Solve()
+	if s.Conflicts == 0 || s.Propagations == 0 || s.Decisions == 0 {
+		t.Errorf("stats not collected: %+v conflicts=%d props=%d decs=%d",
+			s, s.Conflicts, s.Propagations, s.Decisions)
+	}
+	if s.NumClauses() == 0 {
+		t.Error("NumClauses = 0")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestAddClauseGrowsVars(t *testing.T) {
+	s := NewSolver(Options{})
+	s.AddClause(PosLit(10))
+	if s.NumVars() < 11 {
+		t.Errorf("NumVars = %d, want >= 11", s.NumVars())
+	}
+	if st := s.Solve(); st != StatusSat {
+		t.Errorf("status = %v", st)
+	}
+	if !s.ModelValue(10) {
+		t.Error("unit clause not respected")
+	}
+}

@@ -1,0 +1,282 @@
+// Package translate compiles relational formulas over bounded relations
+// into boolean circuits and CNF, in the style of Kodkod: every relation
+// tuple within its upper bound becomes a boolean variable, expressions
+// evaluate to matrices of circuit nodes, quantifiers are grounded over
+// bounds, and the final circuit is Tseitin-encoded for the CDCL solver.
+package translate
+
+import "specrepair/internal/sat"
+
+// Node is a boolean circuit node. Nodes are immutable once built.
+type Node interface{ node() }
+
+type trueNode struct{}
+type falseNode struct{}
+
+// varNode references a boolean variable allocated by the translator.
+type varNode struct{ v int }
+
+type notNode struct{ sub Node }
+
+type andNode struct{ subs []Node }
+
+type orNode struct{ subs []Node }
+
+func (trueNode) node()  {}
+func (falseNode) node() {}
+func (varNode) node()   {}
+func (*notNode) node()  {}
+func (*andNode) node()  {}
+func (*orNode) node()   {}
+
+// TrueNode is the constant true circuit.
+var TrueNode Node = trueNode{}
+
+// FalseNode is the constant false circuit.
+var FalseNode Node = falseNode{}
+
+// Var returns a node referencing boolean variable v.
+func Var(v int) Node { return varNode{v} }
+
+// VarOf returns the variable index when n is a plain variable node.
+func VarOf(n Node) (int, bool) {
+	v, ok := n.(varNode)
+	return v.v, ok
+}
+
+// IsTrue reports whether n is the true constant.
+func IsTrue(n Node) bool { _, ok := n.(trueNode); return ok }
+
+// IsFalse reports whether n is the false constant.
+func IsFalse(n Node) bool { _, ok := n.(falseNode); return ok }
+
+// Not negates a node with constant folding.
+func Not(n Node) Node {
+	switch x := n.(type) {
+	case trueNode:
+		return FalseNode
+	case falseNode:
+		return TrueNode
+	case *notNode:
+		return x.sub
+	default:
+		return &notNode{n}
+	}
+}
+
+// And conjoins nodes with constant folding.
+func And(subs ...Node) Node {
+	out := make([]Node, 0, len(subs))
+	for _, s := range subs {
+		switch s.(type) {
+		case trueNode:
+			continue
+		case falseNode:
+			return FalseNode
+		}
+		out = append(out, s)
+	}
+	switch len(out) {
+	case 0:
+		return TrueNode
+	case 1:
+		return out[0]
+	default:
+		return &andNode{out}
+	}
+}
+
+// Or disjoins nodes with constant folding.
+func Or(subs ...Node) Node {
+	out := make([]Node, 0, len(subs))
+	for _, s := range subs {
+		switch s.(type) {
+		case falseNode:
+			continue
+		case trueNode:
+			return TrueNode
+		}
+		out = append(out, s)
+	}
+	switch len(out) {
+	case 0:
+		return FalseNode
+	case 1:
+		return out[0]
+	default:
+		return &orNode{out}
+	}
+}
+
+// Implies returns a -> b.
+func Implies(a, b Node) Node { return Or(Not(a), b) }
+
+// Iff returns a <-> b.
+func Iff(a, b Node) Node {
+	if IsTrue(a) {
+		return b
+	}
+	if IsTrue(b) {
+		return a
+	}
+	if IsFalse(a) {
+		return Not(b)
+	}
+	if IsFalse(b) {
+		return Not(a)
+	}
+	return Or(And(a, b), And(Not(a), Not(b)))
+}
+
+// Ite returns if c then t else e.
+func Ite(c, t, e Node) Node {
+	if IsTrue(c) {
+		return t
+	}
+	if IsFalse(c) {
+		return e
+	}
+	return Or(And(c, t), And(Not(c), e))
+}
+
+// CountNodes returns the number of distinct nodes reachable from n.
+func CountNodes(n Node) int {
+	seen := map[Node]bool{}
+	var rec func(Node)
+	rec = func(x Node) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		switch y := x.(type) {
+		case *notNode:
+			rec(y.sub)
+		case *andNode:
+			for _, s := range y.subs {
+				rec(s)
+			}
+		case *orNode:
+			for _, s := range y.subs {
+				rec(s)
+			}
+		}
+	}
+	rec(n)
+	return len(seen)
+}
+
+// ClauseSink receives Tseitin clauses. *sat.Solver implements it directly;
+// MaxSAT front-ends adapt it to hard clauses.
+type ClauseSink interface {
+	NewVar() int
+	AddClause(lits ...sat.Lit) bool
+	NumVars() int
+}
+
+// CNFBuilder Tseitin-encodes circuit nodes into a clause sink. Translator
+// variables map 1:1 onto the first NumProblemVars sink variables; gate
+// variables follow.
+type CNFBuilder struct {
+	solver ClauseSink
+	memo   map[Node]sat.Lit
+}
+
+// NewCNFBuilder returns a builder over the sink with numProblemVars
+// already-allocated problem variables.
+func NewCNFBuilder(solver ClauseSink, numProblemVars int) *CNFBuilder {
+	for solver.NumVars() < numProblemVars {
+		solver.NewVar()
+	}
+	return &CNFBuilder{solver: solver, memo: map[Node]sat.Lit{}}
+}
+
+// AddAssert asserts that node n is true.
+func (cb *CNFBuilder) AddAssert(n Node) {
+	switch n.(type) {
+	case trueNode:
+		return
+	case falseNode:
+		cb.solver.AddClause()
+		return
+	}
+	// Assert top-level conjunctions clause-by-clause to avoid gate overhead.
+	if a, ok := n.(*andNode); ok {
+		for _, s := range a.subs {
+			cb.AddAssert(s)
+		}
+		return
+	}
+	if o, ok := n.(*orNode); ok {
+		lits := make([]sat.Lit, 0, len(o.subs))
+		for _, s := range o.subs {
+			lits = append(lits, cb.lit(s))
+		}
+		cb.solver.AddClause(lits...)
+		return
+	}
+	cb.solver.AddClause(cb.lit(n))
+}
+
+// Lit returns a literal equivalent to node n under the Tseitin clauses
+// added to the sink — usable as a solve-time assumption gating the node.
+func (cb *CNFBuilder) Lit(n Node) sat.Lit { return cb.lit(n) }
+
+// lit returns a literal equisatisfiable with node n, Tseitin-encoding gates
+// on demand.
+func (cb *CNFBuilder) lit(n Node) sat.Lit {
+	switch x := n.(type) {
+	case varNode:
+		return sat.PosLit(x.v)
+	case *notNode:
+		return cb.lit(x.sub).Not()
+	case trueNode, falseNode:
+		// Constants at gate position: allocate a variable pinned to the
+		// constant's truth value and return it as the literal.
+		if l, ok := cb.memo[n]; ok {
+			return l
+		}
+		v := cb.solver.NewVar()
+		l := sat.PosLit(v)
+		if IsFalse(n) {
+			cb.solver.AddClause(l.Not())
+		} else {
+			cb.solver.AddClause(l)
+		}
+		cb.memo[n] = l
+		return l
+	}
+	if l, ok := cb.memo[n]; ok {
+		return l
+	}
+	g := sat.PosLit(cb.solver.NewVar())
+	cb.memo[n] = g
+	switch x := n.(type) {
+	case *andNode:
+		subs := make([]sat.Lit, 0, len(x.subs))
+		for _, s := range x.subs {
+			subs = append(subs, cb.lit(s))
+		}
+		// g -> each sub; (all subs) -> g.
+		long := make([]sat.Lit, 0, len(subs)+1)
+		for _, sl := range subs {
+			cb.solver.AddClause(g.Not(), sl)
+			long = append(long, sl.Not())
+		}
+		long = append(long, g)
+		cb.solver.AddClause(long...)
+	case *orNode:
+		subs := make([]sat.Lit, 0, len(x.subs))
+		for _, s := range x.subs {
+			subs = append(subs, cb.lit(s))
+		}
+		// each sub -> g; g -> some sub.
+		long := make([]sat.Lit, 0, len(subs)+1)
+		for _, sl := range subs {
+			cb.solver.AddClause(sl.Not(), g)
+			long = append(long, sl)
+		}
+		long = append(long, g.Not())
+		cb.solver.AddClause(long...)
+	}
+	return g
+}

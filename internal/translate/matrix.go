@@ -1,0 +1,373 @@
+package translate
+
+import (
+	"fmt"
+	"sort"
+
+	"specrepair/internal/bounds"
+)
+
+// Matrix is a sparse boolean matrix over tuples: each tuple within some
+// upper bound maps to a circuit node giving its membership condition.
+// Missing entries are definitely-false.
+type Matrix struct {
+	arity   int
+	entries map[uint64]Node
+}
+
+// NewMatrix returns an empty matrix of the given arity.
+func NewMatrix(arity int) Matrix {
+	return Matrix{arity: arity, entries: map[uint64]Node{}}
+}
+
+// SingletonMatrix returns a matrix that is true exactly at tuple t.
+func SingletonMatrix(t bounds.Tuple) Matrix {
+	m := NewMatrix(len(t))
+	m.entries[t.Key()] = TrueNode
+	return m
+}
+
+// ConstMatrix returns a matrix that is true exactly on the given tuple set.
+func ConstMatrix(ts bounds.TupleSet) Matrix {
+	m := NewMatrix(ts.Arity())
+	for _, t := range ts.Tuples() {
+		m.entries[t.Key()] = TrueNode
+	}
+	return m
+}
+
+// Arity returns the matrix arity.
+func (m Matrix) Arity() int { return m.arity }
+
+// Len returns the number of potentially-true entries.
+func (m Matrix) Len() int { return len(m.entries) }
+
+// Get returns the node at tuple t (FalseNode when absent).
+func (m Matrix) Get(t bounds.Tuple) Node {
+	if n, ok := m.entries[t.Key()]; ok {
+		return n
+	}
+	return FalseNode
+}
+
+func (m Matrix) getKey(k uint64) Node {
+	if n, ok := m.entries[k]; ok {
+		return n
+	}
+	return FalseNode
+}
+
+// Set stores the node at tuple t, dropping definitely-false entries.
+func (m *Matrix) Set(t bounds.Tuple, n Node) {
+	if m.entries == nil {
+		m.entries = map[uint64]Node{}
+		m.arity = len(t)
+	}
+	if len(t) != m.arity {
+		panic(fmt.Sprintf("translate: setting arity-%d tuple in arity-%d matrix", len(t), m.arity))
+	}
+	if IsFalse(n) {
+		delete(m.entries, t.Key())
+		return
+	}
+	m.entries[t.Key()] = n
+}
+
+func (m *Matrix) setKey(k uint64, n Node) {
+	if IsFalse(n) {
+		delete(m.entries, k)
+		return
+	}
+	m.entries[k] = n
+}
+
+// orInto ORs node n into the entry at key k.
+func (m *Matrix) orInto(k uint64, n Node) {
+	m.setKey(k, Or(m.getKey(k), n))
+}
+
+// keys returns entry keys in deterministic order.
+func (m Matrix) keys() []uint64 {
+	out := make([]uint64, 0, len(m.entries))
+	for k := range m.entries {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Tuples returns the potentially-true tuples in deterministic order.
+func (m Matrix) Tuples() []bounds.Tuple {
+	ks := m.keys()
+	out := make([]bounds.Tuple, len(ks))
+	for i, k := range ks {
+		out[i] = bounds.KeyToTuple(k)
+	}
+	return out
+}
+
+// Nodes returns the entry nodes in the same order as Tuples.
+func (m Matrix) Nodes() []Node {
+	ks := m.keys()
+	out := make([]Node, len(ks))
+	for i, k := range ks {
+		out[i] = m.entries[k]
+	}
+	return out
+}
+
+// Union returns entrywise OR.
+func (m Matrix) Union(o Matrix) Matrix {
+	arity := m.arity
+	if len(m.entries) == 0 {
+		arity = o.arity
+	}
+	out := NewMatrix(arity)
+	for k, n := range m.entries {
+		out.entries[k] = n
+	}
+	for k, n := range o.entries {
+		out.orInto(k, n)
+	}
+	return out
+}
+
+// Intersect returns entrywise AND.
+func (m Matrix) Intersect(o Matrix) Matrix {
+	out := NewMatrix(m.arity)
+	for k, n := range m.entries {
+		if on, ok := o.entries[k]; ok {
+			out.setKey(k, And(n, on))
+		}
+	}
+	return out
+}
+
+// Diff returns entrywise AND-NOT.
+func (m Matrix) Diff(o Matrix) Matrix {
+	out := NewMatrix(m.arity)
+	for k, n := range m.entries {
+		out.setKey(k, And(n, Not(o.getKey(k))))
+	}
+	return out
+}
+
+// Product returns the cross product.
+func (m Matrix) Product(o Matrix) Matrix {
+	out := NewMatrix(m.arity + o.arity)
+	for _, mt := range m.Tuples() {
+		mn := m.Get(mt)
+		for _, ot := range o.Tuples() {
+			t := make(bounds.Tuple, 0, len(mt)+len(ot))
+			t = append(t, mt...)
+			t = append(t, ot...)
+			out.Set(t, And(mn, o.Get(ot)))
+		}
+	}
+	return out
+}
+
+// Join returns the relational join m.o.
+func (m Matrix) Join(o Matrix) Matrix {
+	out := NewMatrix(m.arity + o.arity - 2)
+	byFirst := map[int][]bounds.Tuple{}
+	for _, t := range o.Tuples() {
+		byFirst[t[0]] = append(byFirst[t[0]], t)
+	}
+	acc := map[uint64][]Node{}
+	for _, mt := range m.Tuples() {
+		mn := m.Get(mt)
+		last := mt[len(mt)-1]
+		for _, ot := range byFirst[last] {
+			t := make(bounds.Tuple, 0, len(mt)+len(ot)-2)
+			t = append(t, mt[:len(mt)-1]...)
+			t = append(t, ot[1:]...)
+			acc[t.Key()] = append(acc[t.Key()], And(mn, o.Get(ot)))
+		}
+	}
+	for k, cases := range acc {
+		out.setKey(k, Or(cases...))
+	}
+	return out
+}
+
+// Transpose flips a binary matrix.
+func (m Matrix) Transpose() Matrix {
+	out := NewMatrix(2)
+	for _, t := range m.Tuples() {
+		out.Set(bounds.Tuple{t[1], t[0]}, m.Get(t))
+	}
+	return out
+}
+
+// Clone returns an independent copy of the matrix.
+func (m Matrix) Clone() Matrix {
+	out := NewMatrix(m.arity)
+	for k, n := range m.entries {
+		out.entries[k] = n
+	}
+	return out
+}
+
+// Closure returns the transitive closure by iterative squaring.
+func (m Matrix) Closure() Matrix {
+	cur := m.Clone()
+	// The closure saturates within ceil(log2(n))+1 squarings where n bounds
+	// path length by the number of distinct atoms in the upper bound.
+	atoms := map[int]bool{}
+	for _, t := range m.Tuples() {
+		atoms[t[0]] = true
+		atoms[t[1]] = true
+	}
+	for steps := 1; steps < len(atoms); steps *= 2 {
+		cur = cur.Union(cur.Join(cur))
+	}
+	return cur
+}
+
+// ReflClosure returns the reflexive-transitive closure over the given atoms.
+func (m Matrix) ReflClosure(univAtoms []int) Matrix {
+	out := m.Closure()
+	for _, a := range univAtoms {
+		out.Set(bounds.Tuple{a, a}, TrueNode)
+	}
+	return out
+}
+
+// Override returns m ++ o.
+func (m Matrix) Override(o Matrix) Matrix {
+	// domO[a] = OR of o's entries whose first atom is a.
+	domO := map[int][]Node{}
+	for _, t := range o.Tuples() {
+		domO[t[0]] = append(domO[t[0]], o.Get(t))
+	}
+	domNode := map[int]Node{}
+	for a, ns := range domO {
+		domNode[a] = Or(ns...)
+	}
+	out := NewMatrix(m.arity)
+	for _, t := range o.Tuples() {
+		out.orInto(t.Key(), o.Get(t))
+	}
+	for _, t := range m.Tuples() {
+		guard := TrueNode
+		if d, ok := domNode[t[0]]; ok {
+			guard = Not(d)
+		}
+		out.orInto(t.Key(), And(m.Get(t), guard))
+	}
+	return out
+}
+
+// DomRestr returns s <: m for unary s.
+func (m Matrix) DomRestr(s Matrix) Matrix {
+	out := NewMatrix(m.arity)
+	for _, t := range m.Tuples() {
+		out.Set(t, And(s.Get(bounds.Tuple{t[0]}), m.Get(t)))
+	}
+	return out
+}
+
+// RanRestr returns m :> s for unary s.
+func (m Matrix) RanRestr(s Matrix) Matrix {
+	out := NewMatrix(m.arity)
+	for _, t := range m.Tuples() {
+		out.Set(t, And(m.Get(t), s.Get(bounds.Tuple{t[len(t)-1]})))
+	}
+	return out
+}
+
+// Ite returns the entrywise conditional.
+func (m Matrix) Ite(cond Node, e Matrix) Matrix {
+	out := NewMatrix(m.arity)
+	for k, n := range m.entries {
+		out.setKey(k, And(cond, n))
+	}
+	for k, n := range e.entries {
+		out.orInto(k, And(Not(cond), n))
+	}
+	return out
+}
+
+// Some returns the formula "m is non-empty".
+func (m Matrix) Some() Node { return Or(m.Nodes()...) }
+
+// None returns the formula "m is empty".
+func (m Matrix) None() Node { return Not(m.Some()) }
+
+// Lone returns the formula "m has at most one tuple".
+func (m Matrix) Lone() Node {
+	nodes := m.Nodes()
+	var pairs []Node
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			pairs = append(pairs, Not(And(nodes[i], nodes[j])))
+		}
+	}
+	return And(pairs...)
+}
+
+// One returns the formula "m has exactly one tuple".
+func (m Matrix) One() Node { return And(m.Some(), m.Lone()) }
+
+// SubsetOf returns the formula "m ⊆ o".
+func (m Matrix) SubsetOf(o Matrix) Node {
+	var parts []Node
+	for _, k := range m.keys() {
+		parts = append(parts, Implies(m.getKey(k), o.getKey(k)))
+	}
+	return And(parts...)
+}
+
+// EqualTo returns the formula "m = o".
+func (m Matrix) EqualTo(o Matrix) Node {
+	return And(m.SubsetOf(o), o.SubsetOf(m))
+}
+
+// AtLeast returns the formula "at least k entries of m are true", built with
+// a sequential-counter circuit.
+func (m Matrix) AtLeast(k int) Node {
+	return atLeastNodes(m.Nodes(), k)
+}
+
+// AtMost returns the formula "at most k entries of m are true".
+func (m Matrix) AtMost(k int) Node {
+	return Not(atLeastNodes(m.Nodes(), k+1))
+}
+
+// atLeastNodes builds s_{n,k}: at least k of the nodes are true.
+func atLeastNodes(nodes []Node, k int) Node {
+	if k <= 0 {
+		return TrueNode
+	}
+	if k > len(nodes) {
+		return FalseNode
+	}
+	// ge[j]: at least j of the nodes seen so far are true (1-based).
+	ge := make([]Node, k+1)
+	ge[0] = TrueNode
+	for j := 1; j <= k; j++ {
+		ge[j] = FalseNode
+	}
+	for _, n := range nodes {
+		for j := k; j >= 1; j-- {
+			ge[j] = Or(ge[j], And(n, ge[j-1]))
+		}
+	}
+	return ge[k]
+}
+
+// CountCompare builds the formula "#m OP #o" by comparing counter prefixes.
+func CountCompare(m, o Matrix, geBothWays func(geM, geO []Node) Node) Node {
+	maxN := m.Len()
+	if o.Len() > maxN {
+		maxN = o.Len()
+	}
+	geM := make([]Node, maxN+2)
+	geO := make([]Node, maxN+2)
+	for j := 0; j <= maxN+1; j++ {
+		geM[j] = atLeastNodes(m.Nodes(), j)
+		geO[j] = atLeastNodes(o.Nodes(), j)
+	}
+	return geBothWays(geM, geO)
+}
