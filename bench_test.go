@@ -117,6 +117,38 @@ func BenchmarkFigure4(b *testing.B) {
 	}
 }
 
+// BenchmarkStudySliceCache runs the same study slice with the shared
+// analysis cache disabled and enabled. The cached leg reports its hit rate
+// and the number of actual solver runs ("solves", i.e. cache misses); the
+// hit rate must be nonzero — techniques re-validate the same faulty spec
+// and near-identical candidates constantly, which is exactly what the cache
+// collapses.
+func BenchmarkStudySliceCache(b *testing.B) {
+	run := func(b *testing.B, disable bool) {
+		for i := 0; i < b.N; i++ {
+			s, err := experiments.RunStudy(experiments.Config{
+				Seed:         1,
+				Scale:        benchScale,
+				DisableCache: disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !disable {
+				stats := s.CacheStats()
+				if stats.Hits == 0 {
+					b.Fatal("shared cache recorded no hits on the study slice")
+				}
+				b.ReportMetric(100*stats.HitRate(), "hit%")
+				b.ReportMetric(float64(stats.Misses), "solves")
+				b.Logf("analysis cache: %s", stats)
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, true) })
+	b.Run("cached", func(b *testing.B) { run(b, false) })
+}
+
 // ---------------------------------------------------------------------------
 // Ablations
 // ---------------------------------------------------------------------------

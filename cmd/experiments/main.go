@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"specrepair/internal/experiments"
@@ -38,6 +40,10 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "also write CSV exports into this directory")
 	fig4 := fs.Bool("fig4", false, "render Figure 4 (Venn regions)")
 	all := fs.Bool("all", false, "render everything")
+	nocache := fs.Bool("nocache", false, "disable the shared analysis cache (A/B baseline)")
+	cacheSize := fs.Int("cache-size", 0, "analysis cache capacity in entries (0 = default)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,12 +54,46 @@ func run(args []string) error {
 		return fmt.Errorf("nothing selected; pass -all or one of -table1 -fig2 -fig3 -table2 -fig4")
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("creating CPU profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	start := time.Now()
-	study, err := experiments.Run(*seed, *scale, *workers, func(msg string) {
-		fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), msg)
+	study, err := experiments.RunStudy(experiments.Config{
+		Seed:          *seed,
+		Scale:         *scale,
+		Workers:       *workers,
+		CacheCapacity: *cacheSize,
+		DisableCache:  *nocache,
+		Progress: func(msg string) {
+			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), msg)
+		},
 	})
 	if err != nil {
 		return err
+	}
+
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: creating heap profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: writing heap profile:", err)
+			}
+		}()
 	}
 
 	fmt.Println(study.Summary())

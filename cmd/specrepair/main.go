@@ -16,10 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"specrepair/internal/alloy/parser"
 	"specrepair/internal/alloy/printer"
+	"specrepair/internal/anacache"
 	"specrepair/internal/core"
 	"specrepair/internal/repair"
 )
@@ -37,6 +40,9 @@ func run(args []string) error {
 	hybrid := fs.String("hybrid", "", "comma-separated pair of techniques to run in sequence")
 	seed := fs.Int64("seed", 1, "seed for the simulated LLM")
 	list := fs.Bool("list", false, "list available techniques")
+	nocache := fs.Bool("nocache", false, "disable the shared analysis cache")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,13 +66,50 @@ func run(args []string) error {
 	}
 	problem := repair.Problem{Name: path, Faulty: mod}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("creating CPU profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "specrepair: creating heap profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "specrepair: writing heap profile:", err)
+			}
+		}()
+	}
+
+	// One cache across all legs of a hybrid: the second technique's oracle
+	// re-check of the original spec (and any shared intermediate candidates)
+	// hits what the first leg already solved.
+	var cache *anacache.Cache
+	if !*nocache {
+		cache = anacache.New(0)
+		defer func() {
+			fmt.Fprintf(os.Stderr, "analysis cache: %s\n", cache.Stats())
+		}()
+	}
+
 	names := []string{*technique}
 	if *hybrid != "" {
 		names = strings.Split(*hybrid, ",")
 	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		factory, err := core.FactoryByName(*seed, name)
+		factory, err := core.CachedFactoryByName(*seed, name, cache)
 		if err != nil {
 			return err
 		}

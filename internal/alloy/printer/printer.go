@@ -103,6 +103,18 @@ func sig(s *ast.Sig) string {
 	return b.String()
 }
 
+// Command renders a single command in canonical form. The analysis cache
+// keys on this rendering, so it must identify the command completely: when a
+// command carries both a target and an inline block (as rewritten oracle
+// commands can), both are included.
+func Command(c *ast.Command) string {
+	s := command(c)
+	if c.Target != "" && c.Block != nil {
+		s += " {" + exprPrec(c.Block, 0) + "}"
+	}
+	return s
+}
+
 func command(c *ast.Command) string {
 	var b strings.Builder
 	if c.Name != "" && c.Name != c.Target {

@@ -1,0 +1,223 @@
+// Package anacache is a concurrency-safe, sharded, content-addressed cache
+// for analysis results. Keys are canonical SHA-256 hashes of the inputs that
+// determine a result (printed module text, command text, scope bounds,
+// solver options), so two structurally identical queries — produced by
+// different repair techniques, different workers, or different rounds of the
+// same search loop — address the same entry regardless of who computed it
+// first.
+//
+// The cache is a plain (Key, value) store with per-shard LRU eviction and a
+// global entry cap. It holds no domain knowledge: the analyzer defines what
+// is stored under a key and guarantees that every stored value is a pure
+// function of the key's preimage, which makes cache hits byte-for-byte
+// equivalent to recomputation and keeps shared use deterministic under any
+// fill order.
+package anacache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a content hash addressing one cached analysis result.
+type Key [sha256.Size]byte
+
+// KeyOf hashes the given canonical strings into a Key. Parts are
+// length-prefixed, so no two distinct part sequences collide by
+// concatenation.
+func KeyOf(parts ...string) Key {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// DefaultCapacity is the entry cap used when New is given a non-positive
+// capacity. Entries are whole-module analysis records, so this comfortably
+// covers a full-scale study run's working set.
+const DefaultCapacity = 1 << 14
+
+// numShards spreads lock contention; must be a power of two.
+const numShards = 32
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// Entries is the number of values currently resident.
+	Entries int64
+}
+
+// Lookups is the total number of Get calls observed.
+func (s Stats) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRate is Hits/Lookups in [0,1] (0 when no lookups happened).
+func (s Stats) HitRate() float64 {
+	if l := s.Lookups(); l > 0 {
+		return float64(s.Hits) / float64(l)
+	}
+	return 0
+}
+
+// String renders the snapshot for progress lines and summaries.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hits / %d misses (%.1f%% hit rate), %d evictions, %d entries",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Evictions, s.Entries)
+}
+
+// Cache is the sharded LRU store. The zero value is not usable; call New.
+type Cache struct {
+	perShard int
+	shards   [numShards]shard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// entry is an intrusive doubly-linked LRU node.
+type entry struct {
+	key        Key
+	value      any
+	prev, next *entry
+}
+
+type shard struct {
+	mu    sync.Mutex
+	byKey map[Key]*entry
+	// head is the most recently used entry, tail the eviction candidate.
+	head, tail *entry
+}
+
+// New returns a cache holding at most capacity entries (DefaultCapacity when
+// capacity <= 0). The cap is split evenly across shards, so the effective
+// limit is rounded up to a multiple of the shard count.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	per := capacity / numShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].byKey = map[Key]*entry{}
+	}
+	return c
+}
+
+func (c *Cache) shard(k Key) *shard {
+	return &c.shards[int(k[0])&(numShards-1)]
+}
+
+// Get returns the value stored under k, marking it most recently used.
+func (c *Cache) Get(k Key) (any, bool) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	e, ok := sh.byKey[k]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	sh.moveToFront(e)
+	v := e.value
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores v under k (replacing any previous value), evicting the shard's
+// least recently used entry when over capacity. Values must never be mutated
+// after insertion — every reader receives the same reference.
+func (c *Cache) Put(k Key, v any) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	if e, ok := sh.byKey[k]; ok {
+		e.value = v
+		sh.moveToFront(e)
+		sh.mu.Unlock()
+		return
+	}
+	e := &entry{key: k, value: v}
+	sh.byKey[k] = e
+	sh.pushFront(e)
+	var evicted bool
+	if len(sh.byKey) > c.perShard {
+		old := sh.tail
+		sh.unlink(old)
+		delete(sh.byKey, old.key)
+		evicted = true
+	}
+	sh.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Len is the current number of resident entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.byKey)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the effectiveness counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int64(c.Len()),
+	}
+}
+
+func (sh *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard) moveToFront(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}

@@ -1,0 +1,130 @@
+package anacache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestKeyOfDistinguishesPartBoundaries(t *testing.T) {
+	if KeyOf("ab", "c") == KeyOf("a", "bc") {
+		t.Error("length prefixing failed: shifted part boundaries collide")
+	}
+	if KeyOf("x") != KeyOf("x") {
+		t.Error("identical inputs must hash identically")
+	}
+	if KeyOf("x") == KeyOf("x", "") {
+		t.Error("trailing empty part must change the key")
+	}
+}
+
+func TestGetPutLRU(t *testing.T) {
+	c := New(numShards) // one entry per shard
+	k1 := KeyOf("one")
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k1, 1)
+	v, ok := c.Get(k1)
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get = %v, %v; want 1, true", v, ok)
+	}
+	// Overwrite keeps a single entry.
+	c.Put(k1, 2)
+	if v, _ := c.Get(k1); v.(int) != 2 {
+		t.Errorf("overwrite not visible: %v", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestEviction(t *testing.T) {
+	c := New(numShards) // capacity 1 per shard
+	// Two keys in the same shard: the older must be evicted.
+	var a, b Key
+	a = KeyOf("a")
+	found := false
+	for i := 0; i < 10000 && !found; i++ {
+		b = KeyOf(fmt.Sprintf("b%d", i))
+		found = c.shard(a) == c.shard(b)
+	}
+	if !found {
+		t.Fatal("could not find two keys sharing a shard")
+	}
+	c.Put(a, "a")
+	c.Put(b, "b")
+	if _, ok := c.Get(a); ok {
+		t.Error("LRU entry survived past capacity")
+	}
+	if _, ok := c.Get(b); !ok {
+		t.Error("most recent entry was evicted")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := New(0)
+	k := KeyOf("k")
+	c.Get(k)
+	c.Put(k, true)
+	c.Get(k)
+	c.Get(k)
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Lookups() != 3 {
+		t.Errorf("lookups = %d, want 3", st.Lookups())
+	}
+	if got, want := st.HitRate(), 2.0/3.0; got != want {
+		t.Errorf("hit rate = %f, want %f", got, want)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("zero stats must have zero hit rate")
+	}
+}
+
+// TestConcurrentHammer drives one cache from many goroutines mixing reads,
+// writes, and evictions; run under -race it verifies the locking discipline.
+func TestConcurrentHammer(t *testing.T) {
+	c := New(256)
+	const (
+		goroutines = 16
+		iters      = 2000
+		keySpace   = 512 // larger than capacity, forcing evictions
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := (g*31 + i) % keySpace
+				k := KeyOf("key", fmt.Sprint(id))
+				if v, ok := c.Get(k); ok {
+					if v.(int) != id {
+						t.Errorf("key %d returned value %v", id, v)
+						return
+					}
+				} else {
+					c.Put(k, id)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("expected both hits and misses, got %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Errorf("key space exceeds capacity; expected evictions, got %+v", st)
+	}
+	if c.Len() > 256+numShards {
+		t.Errorf("cache grew past capacity: %d entries", c.Len())
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"sort"
 
 	"specrepair/internal/alloy/ast"
+	"specrepair/internal/alloy/printer"
 	"specrepair/internal/alloy/types"
+	"specrepair/internal/anacache"
 	"specrepair/internal/bounds"
 	"specrepair/internal/instance"
 	"specrepair/internal/sat"
@@ -21,15 +23,28 @@ import (
 type Options struct {
 	// MaxConflicts bounds each SAT search; 0 means the default budget.
 	MaxConflicts int64
+	// Cache, when non-nil, memoizes whole analysis queries (ExecuteAll,
+	// PassesAll, Verdicts, RunCommand, EquisatBaseline) content-addressed by
+	// the canonically printed module, the command, and the solver options.
+	// Every cached value is a pure function of its key's preimage — the
+	// uncached computation runs each entry point in a fresh session, so a
+	// hit returns byte-for-byte what recomputing would, no matter which
+	// worker or technique filled the entry. One cache may safely back many
+	// analyzers across goroutines.
+	Cache *anacache.Cache
 }
 
 // DefaultMaxConflicts bounds SAT search per command so that pathological
 // repair candidates cannot stall a whole benchmark run.
 const DefaultMaxConflicts = 500_000
 
-// Analyzer executes commands of Alloy modules.
+// Analyzer executes commands of Alloy modules. It holds no per-run mutable
+// state, so one Analyzer is safe for concurrent use from multiple
+// goroutines.
 type Analyzer struct {
 	opts Options
+	// optsKey folds the result-affecting options into cache keys.
+	optsKey string
 }
 
 // New returns an analyzer.
@@ -37,7 +52,7 @@ func New(opts Options) *Analyzer {
 	if opts.MaxConflicts == 0 {
 		opts.MaxConflicts = DefaultMaxConflicts
 	}
-	return &Analyzer{opts: opts}
+	return &Analyzer{opts: opts, optsKey: fmt.Sprintf("maxconflicts=%d", opts.MaxConflicts)}
 }
 
 // Stats reports translation and solving effort for one command.
@@ -78,11 +93,29 @@ func (r *Result) Passed() bool {
 
 // RunCommand executes one command of mod.
 func (a *Analyzer) RunCommand(mod *ast.Module, cmd *ast.Command) (*Result, error) {
+	if a.cache() == nil {
+		s, err := a.newSession(mod)
+		if err != nil {
+			return nil, err
+		}
+		return s.run(cmd)
+	}
+	key := a.commandKey(printer.Module(mod), cmd)
+	if v, ok := a.cache().Get(key); ok {
+		if cr, ok := v.(*cachedResult); ok {
+			return cr.materialize(cmd), nil
+		}
+	}
 	s, err := a.newSession(mod)
 	if err != nil {
 		return nil, err
 	}
-	return s.run(cmd)
+	res, err := s.run(cmd)
+	if err != nil {
+		return nil, err
+	}
+	a.cache().Put(key, snapshotResult(res))
+	return res, nil
 }
 
 // session shares lowering and per-scope translations across the commands of
@@ -243,6 +276,22 @@ func commandGoal(low *ast.Module, cmd *ast.Command) (ast.Expr, error) {
 
 // ExecuteAll runs every command in the module, in declaration order.
 func (a *Analyzer) ExecuteAll(mod *ast.Module) ([]*Result, error) {
+	if a.cache() == nil {
+		return a.executeAllUncached(mod)
+	}
+	key := a.runRecordKey(printer.Module(mod))
+	if rec := a.getRunRecord(key); rec != nil && rec.Complete && len(rec.Results) == len(mod.Commands) {
+		return rec.materializeAll(mod.Commands), nil
+	}
+	out, err := a.executeAllUncached(mod)
+	if err != nil {
+		return nil, err
+	}
+	a.cache().Put(key, newRunRecord(out, true))
+	return out, nil
+}
+
+func (a *Analyzer) executeAllUncached(mod *ast.Module) ([]*Result, error) {
 	s, err := a.newSession(mod)
 	if err != nil {
 		return nil, err
@@ -262,20 +311,44 @@ func (a *Analyzer) ExecuteAll(mod *ast.Module) ([]*Result, error) {
 // at the first command that misses its expectation. It is the fast path
 // for oracle checks in repair search loops.
 func (a *Analyzer) PassesAll(mod *ast.Module) (bool, error) {
-	s, err := a.newSession(mod)
+	if a.cache() == nil {
+		pass, _, err := a.passesAllUncached(mod)
+		return pass, err
+	}
+	key := a.runRecordKey(printer.Module(mod))
+	if rec := a.getRunRecord(key); rec != nil {
+		if pass, ok := rec.passesAll(mod.Commands); ok {
+			return pass, nil
+		}
+	}
+	pass, results, err := a.passesAllUncached(mod)
 	if err != nil {
 		return false, err
 	}
+	// The record is complete when every command executed (a run that stops
+	// early still records the failing prefix, which answers future
+	// PassesAll queries; ExecuteAll upgrades it on demand).
+	a.cache().Put(key, newRunRecord(results, len(results) == len(mod.Commands)))
+	return pass, nil
+}
+
+func (a *Analyzer) passesAllUncached(mod *ast.Module) (bool, []*Result, error) {
+	s, err := a.newSession(mod)
+	if err != nil {
+		return false, nil, err
+	}
+	var results []*Result
 	for _, cmd := range s.low.Commands {
 		r, err := s.run(cmd)
 		if err != nil {
-			return false, err
+			return false, nil, err
 		}
+		results = append(results, r)
 		if !r.Passed() {
-			return false, nil
+			return false, results, nil
 		}
 	}
-	return true, nil
+	return true, results, nil
 }
 
 // Verdicts executes every command and returns the satisfiability verdict
@@ -301,6 +374,24 @@ func (a *Analyzer) Verdicts(mod *ast.Module) ([]bool, error) {
 // must reproduce every verdict. Malformed candidates are simply not
 // equisatisfiable (nil error).
 func (a *Analyzer) EquisatBaseline(gtCommands []*ast.Command, verdicts []bool, candidate *ast.Module) (bool, error) {
+	if a.cache() == nil {
+		return a.equisatBaselineUncached(gtCommands, verdicts, candidate)
+	}
+	key := a.equisatKey(gtCommands, verdicts, printer.Module(candidate))
+	if v, ok := a.cache().Get(key); ok {
+		if eq, ok := v.(bool); ok {
+			return eq, nil
+		}
+	}
+	eq, err := a.equisatBaselineUncached(gtCommands, verdicts, candidate)
+	if err != nil {
+		return eq, err
+	}
+	a.cache().Put(key, eq)
+	return eq, nil
+}
+
+func (a *Analyzer) equisatBaselineUncached(gtCommands []*ast.Command, verdicts []bool, candidate *ast.Module) (bool, error) {
 	s, err := a.newSession(candidate)
 	if err != nil {
 		return false, nil // malformed candidate: not a repair

@@ -1,0 +1,139 @@
+package analyzer
+
+import (
+	"strings"
+
+	"specrepair/internal/alloy/ast"
+	"specrepair/internal/alloy/printer"
+	"specrepair/internal/anacache"
+	"specrepair/internal/instance"
+	"specrepair/internal/sat"
+)
+
+// This file is the analyzer's memoization layer over anacache. Three key
+// spaces cover every entry point:
+//
+//	analyzer.run     (module, options)                      -> *runRecord
+//	analyzer.cmd     (module, command, options)             -> *cachedResult
+//	analyzer.equisat (candidate, commands, verdicts, opts)  -> bool
+//
+// Each uncached computation starts from a fresh session, so a cached value
+// is a pure function of the key's preimage: serving it from the cache is
+// indistinguishable from recomputing it, which keeps shared concurrent use
+// deterministic regardless of which worker fills an entry first. Instances
+// are cloned on store and on load; cached values are never mutated.
+
+// cachedResult is the module-independent part of one command's Result.
+type cachedResult struct {
+	Sat      bool
+	Status   sat.Status
+	Instance *instance.Instance
+	Stats    Stats
+}
+
+func snapshotResult(r *Result) *cachedResult {
+	cr := &cachedResult{Sat: r.Sat, Status: r.Status, Stats: r.Stats}
+	if r.Instance != nil {
+		cr.Instance = r.Instance.Clone()
+	}
+	return cr
+}
+
+// materialize rebinds the cached outcome to the caller's command.
+func (cr *cachedResult) materialize(cmd *ast.Command) *Result {
+	res := &Result{Command: cmd, Sat: cr.Sat, Status: cr.Status, Stats: cr.Stats}
+	if cr.Instance != nil {
+		res.Instance = cr.Instance.Clone()
+	}
+	return res
+}
+
+// passed replays Result.Passed without cloning the instance.
+func (cr *cachedResult) passed(cmd *ast.Command) bool {
+	return (&Result{Command: cmd, Sat: cr.Sat}).Passed()
+}
+
+// runRecord memoizes executing a module's own commands in declaration
+// order. A record may be a prefix (PassesAll stops at the first failing
+// command); prefix records still answer PassesAll, and ExecuteAll upgrades
+// them to complete ones.
+type runRecord struct {
+	// Complete reports that every command of the module was executed.
+	Complete bool
+	Results  []*cachedResult
+}
+
+func newRunRecord(results []*Result, complete bool) *runRecord {
+	rec := &runRecord{Complete: complete, Results: make([]*cachedResult, len(results))}
+	for i, r := range results {
+		rec.Results[i] = snapshotResult(r)
+	}
+	return rec
+}
+
+// materializeAll rebinds a complete record to the module's commands.
+func (rec *runRecord) materializeAll(cmds []*ast.Command) []*Result {
+	out := make([]*Result, len(rec.Results))
+	for i, cr := range rec.Results {
+		out[i] = cr.materialize(cmds[i])
+	}
+	return out
+}
+
+// passesAll answers PassesAll from the record when possible: an incomplete
+// record ends at a failing command, and a complete one replays every
+// expectation.
+func (rec *runRecord) passesAll(cmds []*ast.Command) (pass, ok bool) {
+	if len(rec.Results) > len(cmds) {
+		return false, false // foreign-shaped record; recompute
+	}
+	if !rec.Complete {
+		return false, true
+	}
+	if len(rec.Results) != len(cmds) {
+		return false, false
+	}
+	for i, cr := range rec.Results {
+		if !cr.passed(cmds[i]) {
+			return false, true
+		}
+	}
+	return true, true
+}
+
+func (a *Analyzer) cache() *anacache.Cache { return a.opts.Cache }
+
+func (a *Analyzer) runRecordKey(src string) anacache.Key {
+	return anacache.KeyOf("analyzer.run", a.optsKey, src)
+}
+
+func (a *Analyzer) commandKey(src string, cmd *ast.Command) anacache.Key {
+	return anacache.KeyOf("analyzer.cmd", a.optsKey, src, printer.Command(cmd))
+}
+
+func (a *Analyzer) equisatKey(gtCommands []*ast.Command, verdicts []bool, candidateSrc string) anacache.Key {
+	var cmds strings.Builder
+	for _, cmd := range gtCommands {
+		cmds.WriteString(printer.Command(cmd))
+		cmds.WriteByte('\n')
+	}
+	var vs strings.Builder
+	for _, v := range verdicts {
+		if v {
+			vs.WriteByte('1')
+		} else {
+			vs.WriteByte('0')
+		}
+	}
+	return anacache.KeyOf("analyzer.equisat", a.optsKey, candidateSrc, cmds.String(), vs.String())
+}
+
+// getRunRecord fetches a module's run record, if any.
+func (a *Analyzer) getRunRecord(key anacache.Key) *runRecord {
+	v, ok := a.cache().Get(key)
+	if !ok {
+		return nil
+	}
+	rec, _ := v.(*runRecord)
+	return rec
+}

@@ -1,0 +1,158 @@
+package analyzer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"specrepair/internal/alloy/ast"
+	"specrepair/internal/anacache"
+)
+
+// raceSources is a small but diverse workload: multiple modules, multiple
+// commands per module, mixed sat/unsat outcomes — enough key collisions that
+// concurrent workers both fill and hit the same shards.
+var raceSources = []string{
+	`
+sig Node { next: lone Node }
+pred hasLink { some next }
+run hasLink for 3
+`,
+	`
+sig Node { next: lone Node }
+fact NoSelf { all n: Node | n not in n.next }
+assert NoSelfLoop { no n: Node | n in n.next }
+check NoSelfLoop for 3
+run { some Node } for 3
+`,
+	`
+sig Node {}
+pred impossible { some Node and no Node }
+run impossible for 3
+`,
+	`
+abstract sig Color {}
+one sig Red, Green extends Color {}
+sig Node { color: one Color }
+pred twoTone { some n: Node | n.color = Red }
+run twoTone for 4
+`,
+	`
+one sig Root {}
+sig Node { parent: lone Node }
+fact Reach { all n: Node | some n.parent }
+assert HasParent { all n: Node | some n.parent }
+check HasParent for 3
+`,
+}
+
+// TestSharedCacheConcurrentEquality hammers one cache from many goroutines
+// running real analyzer entry points (ExecuteAll, PassesAll, Equisat) over
+// the same modules, and checks every concurrent answer against an uncached
+// reference computed up front. Run under -race this doubles as the data-race
+// test for the analyzer/cache integration.
+func TestSharedCacheConcurrentEquality(t *testing.T) {
+	type reference struct {
+		results []*Result
+		passes  bool
+		equisat bool
+	}
+
+	parsed := make([]*ast.Module, len(raceSources))
+	for i, src := range raceSources {
+		parsed[i] = mustParse(t, src)
+	}
+
+	uncached := New(Options{})
+	refs := make([]reference, len(parsed))
+	for i, mod := range parsed {
+		results, err := uncached.ExecuteAll(mod)
+		if err != nil {
+			t.Fatalf("module %d: reference ExecuteAll: %v", i, err)
+		}
+		passes, err := uncached.PassesAll(mod)
+		if err != nil {
+			t.Fatalf("module %d: reference PassesAll: %v", i, err)
+		}
+		eq, err := uncached.Equisat(mod, mod)
+		if err != nil {
+			t.Fatalf("module %d: reference Equisat: %v", i, err)
+		}
+		refs[i] = reference{results: results, passes: passes, equisat: eq}
+	}
+
+	cache := anacache.New(0)
+	const goroutines = 16
+	const iters = 20
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			an := New(Options{Cache: cache})
+			for it := 0; it < iters; it++ {
+				i := (id + it) % len(parsed)
+				mod, ref := parsed[i], refs[i]
+
+				results, err := an.ExecuteAll(mod)
+				if err != nil {
+					errs <- fmt.Errorf("g%d module %d: ExecuteAll: %w", id, i, err)
+					return
+				}
+				if len(results) != len(ref.results) {
+					errs <- fmt.Errorf("g%d module %d: %d results, want %d", id, i, len(results), len(ref.results))
+					return
+				}
+				for j := range results {
+					got, want := results[j], ref.results[j]
+					if got.Sat != want.Sat || got.Status != want.Status {
+						errs <- fmt.Errorf("g%d module %d cmd %d: (sat=%v status=%v), want (sat=%v status=%v)",
+							id, i, j, got.Sat, got.Status, want.Sat, want.Status)
+						return
+					}
+					gi, wi := got.Instance, want.Instance
+					if (gi == nil) != (wi == nil) || (gi != nil && gi.String() != wi.String()) {
+						errs <- fmt.Errorf("g%d module %d cmd %d: instance mismatch", id, i, j)
+						return
+					}
+				}
+
+				passes, err := an.PassesAll(mod)
+				if err != nil {
+					errs <- fmt.Errorf("g%d module %d: PassesAll: %w", id, i, err)
+					return
+				}
+				if passes != ref.passes {
+					errs <- fmt.Errorf("g%d module %d: PassesAll=%v, want %v", id, i, passes, ref.passes)
+					return
+				}
+
+				eq, err := an.Equisat(mod, mod)
+				if err != nil {
+					errs <- fmt.Errorf("g%d module %d: Equisat: %w", id, i, err)
+					return
+				}
+				if eq != ref.equisat {
+					errs <- fmt.Errorf("g%d module %d: Equisat=%v, want %v", id, i, eq, ref.equisat)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	stats := cache.Stats()
+	if stats.Hits == 0 {
+		t.Errorf("shared cache recorded no hits: %s", stats)
+	}
+	if stats.Misses == 0 {
+		t.Errorf("shared cache recorded no misses: %s", stats)
+	}
+	t.Logf("shared cache after hammer: %s", stats)
+}

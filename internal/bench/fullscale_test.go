@@ -9,8 +9,7 @@ func TestFullScaleCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale benchmark generation is slow")
 	}
-	g := NewGenerator(nil)
-	a4f, ar, err := g.Both()
+	a4f, ar, err := fullSuites()
 	if err != nil {
 		t.Fatal(err)
 	}

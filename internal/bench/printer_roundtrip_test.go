@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+
+	"specrepair/internal/alloy/ast"
+	"specrepair/internal/alloy/parser"
+	"specrepair/internal/alloy/printer"
+)
+
+// TestPrinterRoundTripDeterministic pins the printer's determinism contract:
+// the analysis cache keys every lookup on the printed module, so print must
+// be a stable canonical form — parse(print(m)) must print to exactly the
+// same bytes again. The test covers every profile source plus every
+// generated faulty/ground-truth module.
+func TestPrinterRoundTripDeterministic(t *testing.T) {
+	for _, p := range append(a4fProfiles(), arepairProfiles()...) {
+		mod, err := parser.Parse(p.source)
+		if err != nil {
+			t.Fatalf("%s/%s: parsing profile source: %v", p.benchmark, p.domain, err)
+		}
+		assertRoundTrip(t, p.benchmark+"/"+p.domain, mod)
+	}
+
+	g := NewGenerator(nil)
+	g.Scale = 50
+	a4f, ar, err := g.Both()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, suite := range []*Suite{a4f, ar} {
+		for _, s := range suite.Specs {
+			assertRoundTrip(t, s.Name+"/faulty", s.Faulty)
+			assertRoundTrip(t, s.Name+"/gt", s.GroundTruth)
+		}
+	}
+}
+
+// assertRoundTrip checks print -> parse -> print is byte-identical.
+func assertRoundTrip(t *testing.T, name string, mod *ast.Module) {
+	t.Helper()
+	first := printer.Module(mod)
+	reparsed, err := parser.Parse(first)
+	if err != nil {
+		t.Errorf("%s: reparsing printed module: %v\n%s", name, err, first)
+		return
+	}
+	second := printer.Module(reparsed)
+	if first != second {
+		t.Errorf("%s: printer round trip not byte-identical\nfirst:\n%s\nsecond:\n%s", name, first, second)
+	}
+}

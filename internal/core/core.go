@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"specrepair/internal/alloy/printer"
+	"specrepair/internal/anacache"
 	"specrepair/internal/analyzer"
 	"specrepair/internal/bench"
 	"specrepair/internal/llm"
@@ -55,9 +56,20 @@ const (
 )
 
 // StudyFactories returns the twelve techniques with the study's
-// configurations. The seed drives the simulated LLM.
+// configurations, each with a private uncached analyzer. The seed drives
+// the simulated LLM.
 func StudyFactories(seed int64) []Factory {
-	newAnalyzer := func() *analyzer.Analyzer { return analyzer.New(analyzer.Options{}) }
+	return CachedStudyFactories(seed, nil)
+}
+
+// CachedStudyFactories returns the twelve techniques sharing one analysis
+// cache (nil for private uncached analyzers). With a shared cache, the
+// heavy overlap between techniques' candidate spaces — BeAFix and ATR
+// enumerate many of the same mutants, ICEBAR and the Multi-Round loops
+// re-check near-identical intermediate specs — is solved once instead of
+// once per technique per worker.
+func CachedStudyFactories(seed int64, cache *anacache.Cache) []Factory {
+	newAnalyzer := func() *analyzer.Analyzer { return analyzer.New(analyzer.Options{Cache: cache}) }
 	fs := []Factory{
 		{Name: "ARepair", New: func() repair.Technique {
 			return arepair.New(arepair.Options{})
@@ -65,18 +77,21 @@ func StudyFactories(seed int64) []Factory {
 		{Name: "ICEBAR", New: func() repair.Technique {
 			opts := icebar.DefaultOptions()
 			opts.Analyzer = newAnalyzer()
+			opts.Cache = cache
 			return icebar.New(opts)
 		}},
 		{Name: "BeAFix", New: func() repair.Technique {
 			opts := beafix.DefaultOptions()
 			opts.MaxCandidates = beafixMaxCandidates
 			opts.Analyzer = newAnalyzer()
+			opts.Cache = cache
 			return beafix.New(opts)
 		}},
 		{Name: "ATR", New: func() repair.Technique {
 			opts := atr.DefaultOptions()
 			opts.MaxCandidates = atrMaxCandidates
 			opts.Analyzer = newAnalyzer()
+			opts.Cache = cache
 			return atr.New(opts)
 		}},
 	}
@@ -102,6 +117,7 @@ func StudyFactories(seed int64) []Factory {
 					Feedback: fb,
 					Client:   llm.NewSimulatedModel(seed),
 					Analyzer: newAnalyzer(),
+					Cache:    cache,
 				})
 			},
 		})
@@ -111,7 +127,13 @@ func StudyFactories(seed int64) []Factory {
 
 // FactoryByName finds a study factory.
 func FactoryByName(seed int64, name string) (Factory, error) {
-	for _, f := range StudyFactories(seed) {
+	return CachedFactoryByName(seed, name, nil)
+}
+
+// CachedFactoryByName finds a study factory whose technique shares the
+// given analysis cache.
+func CachedFactoryByName(seed int64, name string, cache *anacache.Cache) (Factory, error) {
+	for _, f := range CachedStudyFactories(seed, cache) {
 		if f.Name == name {
 			return f, nil
 		}
@@ -139,6 +161,10 @@ type Evaluation struct {
 	Suite *bench.Suite
 	// Results is keyed by technique name, then spec name.
 	Results map[string]map[string]*Result
+	// CacheStats snapshots the shared analysis cache when the runner had
+	// one (zero value otherwise). Counters are cumulative over the cache's
+	// lifetime, so back-to-back evaluations on one cache see growing totals.
+	CacheStats anacache.Stats
 }
 
 // REPCount returns the number of REP=1 specs for a technique, optionally
@@ -192,9 +218,22 @@ type Runner struct {
 	Workers int
 	// Seed drives the simulated LLM.
 	Seed int64
+	// Cache, when non-nil, is the analysis cache shared by every worker's
+	// scoring analyzer. Pass the same instance to CachedStudyFactories so
+	// the techniques' own candidate validations land in the same store.
+	Cache *anacache.Cache
 	// Progress, when non-nil, receives one call per completed (technique,
-	// spec) pair.
-	Progress func(technique, spec string, done, total int)
+	// spec) pair, along with a point-in-time snapshot of the shared
+	// analysis cache (zero Stats when the runner is uncached).
+	Progress func(technique, spec string, done, total int, cache anacache.Stats)
+}
+
+// cacheStats snapshots the shared cache (zero value when uncached).
+func (r *Runner) cacheStats() anacache.Stats {
+	if r.Cache == nil {
+		return anacache.Stats{}
+	}
+	return r.Cache.Stats()
 }
 
 // Evaluate runs every factory over every spec of the suite.
@@ -220,7 +259,7 @@ func (r *Runner) Evaluate(suite *bench.Suite, factories []Factory) (*Evaluation,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			an := analyzer.New(analyzer.Options{})
+			an := analyzer.New(analyzer.Options{Cache: r.Cache})
 			tools := map[string]repair.Technique{}
 			for j := range jobs {
 				tool, ok := tools[j.factory.Name]
@@ -250,9 +289,10 @@ func (r *Runner) Evaluate(suite *bench.Suite, factories []Factory) (*Evaluation,
 		eval.Results[res.Technique][res.Spec.Name] = res
 		done++
 		if r.Progress != nil {
-			r.Progress(res.Technique, res.Spec.Name, done, total)
+			r.Progress(res.Technique, res.Spec.Name, done, total, r.cacheStats())
 		}
 	}
+	eval.CacheStats = r.cacheStats()
 	return eval, nil
 }
 

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 
+	"specrepair/internal/anacache"
+	"specrepair/internal/analyzer"
 	"specrepair/internal/bench"
 	"specrepair/internal/core"
 	"specrepair/internal/metrics"
@@ -19,14 +21,60 @@ import (
 type Study struct {
 	A4F     *core.Evaluation
 	ARepair *core.Evaluation
+	// Cache is the analysis cache shared by benchmark generation, every
+	// technique, and the REP scoring across the whole run (nil when the
+	// study ran uncached).
+	Cache *anacache.Cache
+}
+
+// CacheStats snapshots the shared analysis cache (zero value for uncached
+// studies).
+func (s *Study) CacheStats() anacache.Stats {
+	if s.Cache == nil {
+		return anacache.Stats{}
+	}
+	return s.Cache.Stats()
+}
+
+// Config parameterizes a study run.
+type Config struct {
+	// Seed drives the simulated LLM.
+	Seed int64
+	// Scale divides corpus sizes; 1 (or 0) reproduces the paper's counts.
+	Scale int
+	// Workers is the parallelism degree (0 = GOMAXPROCS).
+	Workers int
+	// CacheCapacity is the shared analysis cache size in entries
+	// (0 = anacache.DefaultCapacity).
+	CacheCapacity int
+	// DisableCache runs the study without the shared analysis cache — the
+	// A/B baseline where every analyzer query is solved from scratch.
+	DisableCache bool
+	// Progress receives human-readable progress lines when non-nil.
+	Progress func(string)
 }
 
 // Run executes the full study: generate both benchmarks (scaled down by
-// scale; 1 = the paper's full corpus) and evaluate all twelve techniques.
+// scale; 1 = the paper's full corpus) and evaluate all twelve techniques
+// with the default shared analysis cache.
 func Run(seed int64, scale, workers int, progress func(string)) (*Study, error) {
-	gen := bench.NewGenerator(nil)
-	if scale > 1 {
-		gen.Scale = scale
+	return RunStudy(Config{Seed: seed, Scale: scale, Workers: workers, Progress: progress})
+}
+
+// RunStudy executes the study under the given configuration. One analysis
+// cache is shared end-to-end: benchmark generation (whose oracle
+// validations pre-warm the faulty specs every technique re-checks first),
+// all twelve techniques across all workers, and the REP equisatisfiability
+// scoring.
+func RunStudy(cfg Config) (*Study, error) {
+	var cache *anacache.Cache
+	if !cfg.DisableCache {
+		cache = anacache.New(cfg.CacheCapacity)
+	}
+	progress := cfg.Progress
+	gen := bench.NewGenerator(analyzer.New(analyzer.Options{Cache: cache}))
+	if cfg.Scale > 1 {
+		gen.Scale = cfg.Scale
 	}
 	if progress != nil {
 		progress("generating benchmark corpora")
@@ -35,12 +83,17 @@ func Run(seed int64, scale, workers int, progress func(string)) (*Study, error) 
 	if err != nil {
 		return nil, fmt.Errorf("generating benchmarks: %w", err)
 	}
-	factories := core.StudyFactories(seed)
-	runner := &core.Runner{Workers: workers, Seed: seed}
+	factories := core.CachedStudyFactories(cfg.Seed, cache)
+	runner := &core.Runner{Workers: cfg.Workers, Seed: cfg.Seed, Cache: cache}
 	if progress != nil {
-		runner.Progress = func(tech, spec string, done, total int) {
+		runner.Progress = func(tech, spec string, done, total int, cs anacache.Stats) {
 			if done%500 == 0 || done == total {
-				progress(fmt.Sprintf("evaluated %d/%d", done, total))
+				msg := fmt.Sprintf("evaluated %d/%d", done, total)
+				if cs.Lookups() > 0 {
+					msg += fmt.Sprintf(" (cache: %.1f%% hit rate, %d lookups)",
+						100*cs.HitRate(), cs.Lookups())
+				}
+				progress(msg)
 			}
 		}
 		progress(fmt.Sprintf("evaluating %d techniques x %d A4F specs", len(factories), len(a4f.Specs)))
@@ -56,7 +109,7 @@ func Run(seed int64, scale, workers int, progress func(string)) (*Study, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Study{A4F: a4fEval, ARepair: arEval}, nil
+	return &Study{A4F: a4fEval, ARepair: arEval, Cache: cache}, nil
 }
 
 // domainOrder lists domains in the paper's row order.
@@ -293,5 +346,10 @@ func (s *Study) Summary() string {
 	}
 	fmt.Fprintf(&b, "  best hybrid: %s + %s = %d repairs (%.1f%%)\n",
 		best.Traditional, best.LLM, best.Union, 100*float64(best.Union)/float64(total))
+	if s.Cache != nil {
+		fmt.Fprintf(&b, "  analysis cache: %s\n", s.Cache.Stats())
+	} else {
+		b.WriteString("  analysis cache: off\n")
+	}
 	return b.String()
 }

@@ -19,6 +19,7 @@ import (
 	"specrepair/internal/alloy/ast"
 	"specrepair/internal/alloy/printer"
 	"specrepair/internal/alloy/types"
+	"specrepair/internal/anacache"
 	"specrepair/internal/analyzer"
 	"specrepair/internal/faultloc"
 	"specrepair/internal/instance"
@@ -40,6 +41,9 @@ type Options struct {
 	DisablePruning bool
 	// Analyzer overrides the default analyzer (mainly for tests).
 	Analyzer *analyzer.Analyzer
+	// Cache backs the default analyzer when Analyzer is nil, so candidate
+	// validations are shared with every other technique on the same cache.
+	Cache *anacache.Cache
 }
 
 // DefaultOptions mirror the study's configuration.
@@ -59,11 +63,12 @@ func New(opts Options) *Tool {
 		d := DefaultOptions()
 		d.DisablePruning = opts.DisablePruning
 		d.Analyzer = opts.Analyzer
+		d.Cache = opts.Cache
 		opts = d
 	}
 	an := opts.Analyzer
 	if an == nil {
-		an = analyzer.New(analyzer.Options{})
+		an = analyzer.New(analyzer.Options{Cache: opts.Cache})
 	}
 	return &Tool{opts: opts, an: an}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"specrepair/internal/alloy/ast"
+	"specrepair/internal/anacache"
 	"specrepair/internal/analyzer"
 	"specrepair/internal/aunit"
 	"specrepair/internal/repair"
@@ -25,6 +26,9 @@ type Options struct {
 	ARepair arepair.Options
 	// Analyzer overrides the default analyzer (mainly for tests).
 	Analyzer *analyzer.Analyzer
+	// Cache backs the default analyzer when Analyzer is nil, so oracle
+	// re-checks of intermediate candidates are shared across techniques.
+	Cache *anacache.Cache
 }
 
 // DefaultOptions mirror the study's configuration.
@@ -49,11 +53,12 @@ func New(opts Options) *Tool {
 	if opts.MaxIterations == 0 {
 		d := DefaultOptions()
 		d.Analyzer = opts.Analyzer
+		d.Cache = opts.Cache
 		opts = d
 	}
 	an := opts.Analyzer
 	if an == nil {
-		an = analyzer.New(analyzer.Options{})
+		an = analyzer.New(analyzer.Options{Cache: opts.Cache})
 	}
 	return &Tool{opts: opts, an: an, inner: arepair.New(opts.ARepair)}
 }

@@ -13,6 +13,7 @@ import (
 	"specrepair/internal/alloy/ast"
 	"specrepair/internal/alloy/parser"
 	"specrepair/internal/alloy/printer"
+	"specrepair/internal/anacache"
 	"specrepair/internal/analyzer"
 	"specrepair/internal/instance"
 	"specrepair/internal/llm"
@@ -28,6 +29,10 @@ type Options struct {
 	Client llm.Client
 	// Analyzer overrides the default analyzer (mainly for tests).
 	Analyzer *analyzer.Analyzer
+	// Cache backs the default analyzer when Analyzer is nil, so validation
+	// of near-identical intermediate specs is shared across rounds and
+	// techniques.
+	Cache *anacache.Cache
 }
 
 // DefaultRounds is the per-spec proposal budget.
@@ -49,7 +54,7 @@ func New(opts Options) *Tool {
 	}
 	an := opts.Analyzer
 	if an == nil {
-		an = analyzer.New(analyzer.Options{})
+		an = analyzer.New(analyzer.Options{Cache: opts.Cache})
 	}
 	return &Tool{opts: opts, an: an}
 }

@@ -73,17 +73,59 @@ func NewSolver(opts Options) *Solver {
 	return s
 }
 
+// Grow reserves capacity for at least n variables, reallocating each
+// per-variable slice once in bulk. Translators that know the problem size
+// up front call this so that the subsequent NewVar storm never reallocates;
+// NewVar itself falls back to capacity doubling through the same path.
+func (s *Solver) Grow(n int) {
+	if n <= cap(s.assigns) {
+		return
+	}
+	s.watches = grown(s.watches, 2*n)
+	s.assigns = grown(s.assigns, n)
+	s.level = grown(s.level, n)
+	s.reason = grown(s.reason, n)
+	s.polarity = grown(s.polarity, n)
+	s.activity = grown(s.activity, n)
+	s.seen = grown(s.seen, n)
+	s.order.grow(n)
+}
+
+// grown returns s with capacity at least c, preserving contents.
+func grown[T any](s []T, c int) []T {
+	if c <= cap(s) {
+		return s
+	}
+	out := make([]T, len(s), c)
+	copy(out, s)
+	return out
+}
+
 // NewVar allocates a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
+	if s.numVars == cap(s.assigns) {
+		next := 2 * s.numVars
+		if next < 64 {
+			next = 64
+		}
+		s.Grow(next)
+	}
 	v := s.numVars
 	s.numVars++
-	s.watches = append(s.watches, nil, nil)
-	s.assigns = append(s.assigns, Unassigned)
-	s.level = append(s.level, 0)
-	s.reason = append(s.reason, -1)
-	s.polarity = append(s.polarity, false)
-	s.activity = append(s.activity, 0)
-	s.seen = append(s.seen, false)
+	s.watches = s.watches[:2*v+2]
+	s.watches[2*v], s.watches[2*v+1] = nil, nil
+	s.assigns = s.assigns[:v+1]
+	s.assigns[v] = Unassigned
+	s.level = s.level[:v+1]
+	s.level[v] = 0
+	s.reason = s.reason[:v+1]
+	s.reason[v] = -1
+	s.polarity = s.polarity[:v+1]
+	s.polarity[v] = false
+	s.activity = s.activity[:v+1]
+	s.activity[v] = 0
+	s.seen = s.seen[:v+1]
+	s.seen[v] = false
 	s.order.push(v)
 	return v
 }
@@ -566,6 +608,12 @@ func (h *varHeap) swap(i, j int) {
 
 func (h *varHeap) contains(v int) bool {
 	return v < len(h.pos) && h.pos[v] >= 0
+}
+
+// grow reserves capacity for n variables in the heap and position index.
+func (h *varHeap) grow(n int) {
+	h.heap = grown(h.heap, n)
+	h.pos = grown(h.pos, n)
 }
 
 func (h *varHeap) push(v int) {

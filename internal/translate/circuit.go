@@ -184,6 +184,11 @@ type CNFBuilder struct {
 // NewCNFBuilder returns a builder over the sink with numProblemVars
 // already-allocated problem variables.
 func NewCNFBuilder(solver ClauseSink, numProblemVars int) *CNFBuilder {
+	// Bulk-grow sinks that support it (one reallocation per slice instead of
+	// a capacity-doubling cascade during the NewVar storm below).
+	if g, ok := solver.(interface{ Grow(int) }); ok {
+		g.Grow(numProblemVars)
+	}
 	for solver.NumVars() < numProblemVars {
 		solver.NewVar()
 	}
