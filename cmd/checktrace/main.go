@@ -1,0 +1,73 @@
+// Command checktrace validates a JSONL span trace produced by -trace.
+//
+// It decodes every line as a telemetry.SpanRecord, checks the basic span
+// invariants (name, technique, positive duration), and prints a one-line
+// summary. A malformed trace exits non-zero, which makes it usable as a CI
+// assertion:
+//
+//	experiments -scale 400 -table1 -trace t.jsonl && checktrace t.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"specrepair/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "checktrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: checktrace <trace.jsonl>")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var spans, badDur int64
+	var total int64 // summed duration, ns
+	techniques := map[string]int64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var sr telemetry.SpanRecord
+		if err := json.Unmarshal(line, &sr); err != nil {
+			return fmt.Errorf("line %d: invalid JSON: %w", spans+1, err)
+		}
+		if sr.Name == "" || sr.Technique == "" || sr.Spec == "" {
+			return fmt.Errorf("line %d: span missing name/technique/spec: %s", spans+1, line)
+		}
+		if sr.DurationNs <= 0 {
+			badDur++
+		}
+		techniques[sr.Technique]++
+		total += sr.DurationNs
+		spans++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if spans == 0 {
+		return fmt.Errorf("%s: no spans", args[0])
+	}
+	if badDur > 0 {
+		return fmt.Errorf("%d of %d spans have non-positive durations", badDur, spans)
+	}
+	fmt.Printf("%s: %d spans, %d techniques, %.3fs total attributed time\n",
+		args[0], spans, len(techniques), float64(total)/1e9)
+	return nil
+}

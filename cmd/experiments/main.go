@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"specrepair/internal/experiments"
+	"specrepair/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +45,8 @@ func run(args []string) error {
 	cacheSize := fs.Int("cache-size", 0, "analysis cache capacity in entries (0 = default)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	trace := fs.String("trace", "", "write a JSONL span trace (one line per (technique, spec) job) to this file")
+	metricsAddr := fs.String("metrics-addr", "", "serve live /metrics (Prometheus) and /metrics.json on this address while running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,6 +69,31 @@ func run(args []string) error {
 		defer pprof.StopCPUProfile()
 	}
 
+	// The registry is always on: its atomic counters are cheap against the
+	// solver-bound workload, and the run-report and CSV exports depend on it.
+	reg := telemetry.New()
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		tw := telemetry.NewTraceWriter(f)
+		defer func() {
+			if err := tw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: closing trace:", err)
+			}
+		}()
+		reg.SetSink(tw)
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.ServeMetrics(reg, *metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	}
+
 	start := time.Now()
 	study, err := experiments.RunStudy(experiments.Config{
 		Seed:          *seed,
@@ -73,6 +101,7 @@ func run(args []string) error {
 		Workers:       *workers,
 		CacheCapacity: *cacheSize,
 		DisableCache:  *nocache,
+		Telemetry:     reg,
 		Progress: func(msg string) {
 			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), msg)
 		},
@@ -96,6 +125,7 @@ func run(args []string) error {
 		}()
 	}
 
+	renderStart := time.Now()
 	fmt.Println(study.Summary())
 	if *table1 {
 		fmt.Println(study.TableI())
@@ -112,12 +142,15 @@ func run(args []string) error {
 	if *fig4 {
 		fmt.Println(study.RenderFigure4())
 	}
+	fmt.Println(study.TelemetryReport())
+	study.AddPhase("render", time.Since(renderStart))
 	if *csvDir != "" {
 		if err := study.WriteCSV(*csvDir); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "CSV exports written to %s\n", *csvDir)
 	}
+	fmt.Fprint(os.Stderr, study.RenderPhases())
 	fmt.Fprintf(os.Stderr, "total wall clock: %v\n", time.Since(start))
 	return nil
 }

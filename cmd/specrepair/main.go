@@ -20,11 +20,14 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"time"
+
 	"specrepair/internal/alloy/parser"
 	"specrepair/internal/alloy/printer"
 	"specrepair/internal/anacache"
 	"specrepair/internal/core"
 	"specrepair/internal/repair"
+	"specrepair/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +46,8 @@ func run(args []string) error {
 	nocache := fs.Bool("nocache", false, "disable the shared analysis cache")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	trace := fs.String("trace", "", "write a JSONL span trace (one line per technique leg) to this file")
+	metricsAddr := fs.String("metrics-addr", "", "serve live /metrics (Prometheus) and /metrics.json on this address while running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +108,35 @@ func run(args []string) error {
 		}()
 	}
 
+	reg := telemetry.New()
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		tw := telemetry.NewTraceWriter(f)
+		defer func() {
+			if err := tw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "specrepair: closing trace:", err)
+			}
+		}()
+		reg.SetSink(tw)
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.ServeMetrics(reg, *metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	}
+	col := telemetry.NewCollector(reg)
+	defer func() {
+		b := reg.Brief()
+		fmt.Fprintf(os.Stderr, "solver: %d solves, %d conflicts, %d budget exhaustions; analyzer lookups: %d hits, %d misses\n",
+			b.Solves, b.Conflicts, b.BudgetExhausted, b.CacheHits, b.CacheMisses)
+	}()
+
 	names := []string{*technique}
 	if *hybrid != "" {
 		names = strings.Split(*hybrid, ",")
@@ -113,8 +147,29 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		tool := factory.New()
+		tool := factory.NewWith(col)
+		col.BeginJob()
+		legStart := time.Now()
 		out, err := tool.Repair(problem)
+		outcome := telemetry.OutcomeFailed
+		switch {
+		case err != nil:
+			outcome = telemetry.OutcomeError
+		case out.Repaired:
+			outcome = telemetry.OutcomeRepaired
+		}
+		reg.RecordJob(telemetry.JobRecord{
+			Technique:     name,
+			Spec:          path,
+			Start:         legStart,
+			Duration:      time.Since(legStart),
+			Outcome:       outcome,
+			Candidates:    out.Stats.CandidatesTried,
+			AnalyzerCalls: out.Stats.AnalyzerCalls,
+			TestRuns:      out.Stats.TestRuns,
+			Iterations:    out.Stats.Iterations,
+			Effort:        col.TakeJobEffort(),
+		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

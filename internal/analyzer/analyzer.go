@@ -16,6 +16,7 @@ import (
 	"specrepair/internal/bounds"
 	"specrepair/internal/instance"
 	"specrepair/internal/sat"
+	"specrepair/internal/telemetry"
 	"specrepair/internal/translate"
 )
 
@@ -32,6 +33,12 @@ type Options struct {
 	// worker or technique filled the entry. One cache may safely back many
 	// analyzers across goroutines.
 	Cache *anacache.Cache
+	// Telemetry, when non-nil, receives instrumentation: per-entry-point
+	// call counts with the cache hit/miss latency split, per-command
+	// translation sizes, and (via the solvers it constructs) per-solve
+	// effort. Telemetry never affects results or cache keys; nil disables
+	// recording with no overhead.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultMaxConflicts bounds SAT search per command so that pathological
@@ -75,6 +82,10 @@ type Result struct {
 	// Instance is the model (run) or counterexample (check) when Sat.
 	Instance *instance.Instance
 	Stats    Stats
+	// FromCache marks a result served from the analysis cache. Its Stats
+	// replay what the original solve cost — no new solver effort was spent
+	// — so effort accounting must skip (or discount) replayed results.
+	FromCache bool
 }
 
 // Passed reports whether the command met its expectation: a check passes
@@ -93,17 +104,26 @@ func (r *Result) Passed() bool {
 
 // RunCommand executes one command of mod.
 func (a *Analyzer) RunCommand(mod *ast.Module, cmd *ast.Command) (*Result, error) {
+	col := a.opts.Telemetry
 	if a.cache() == nil {
 		s, err := a.newSession(mod)
 		if err != nil {
 			return nil, err
 		}
-		return s.run(cmd)
+		start := col.Clock()
+		res, err := s.run(cmd)
+		if err == nil {
+			col.RecordLookup(telemetry.EPCommand, false, col.Since(start))
+		}
+		return res, err
 	}
+	start := col.Clock()
 	key := a.commandKey(printer.Module(mod), cmd)
 	if v, ok := a.cache().Get(key); ok {
 		if cr, ok := v.(*cachedResult); ok {
-			return cr.materialize(cmd), nil
+			res := cr.materialize(cmd)
+			col.RecordLookup(telemetry.EPCommand, true, col.Since(start))
+			return res, nil
 		}
 	}
 	s, err := a.newSession(mod)
@@ -115,6 +135,7 @@ func (a *Analyzer) RunCommand(mod *ast.Module, cmd *ast.Command) (*Result, error
 		return nil, err
 	}
 	a.cache().Put(key, snapshotResult(res))
+	col.RecordLookup(telemetry.EPCommand, false, col.Since(start))
 	return res, nil
 }
 
@@ -193,7 +214,10 @@ func (s *session) state(sc ast.Scope) *scopeState {
 		}
 		parts = append(parts, n)
 	}
-	st.solver = sat.NewSolver(sat.Options{MaxConflicts: s.an.opts.MaxConflicts})
+	st.solver = sat.NewSolver(sat.Options{
+		MaxConflicts: s.an.opts.MaxConflicts,
+		Telemetry:    s.an.opts.Telemetry,
+	})
 	st.cb = translate.NewCNFBuilder(st.solver, st.tr.NumVars())
 	st.cb.AddAssert(translate.And(parts...))
 	return st
@@ -234,6 +258,7 @@ func (s *session) run(cmd *ast.Command) (*Result, error) {
 	if res.Sat {
 		res.Instance = st.tr.Decode(st.solver.Model())
 	}
+	s.an.opts.Telemetry.RecordTranslation(res.Stats.RelVars, res.Stats.SolverVars, res.Stats.Clauses)
 	return res, nil
 }
 
@@ -276,18 +301,28 @@ func commandGoal(low *ast.Module, cmd *ast.Command) (ast.Expr, error) {
 
 // ExecuteAll runs every command in the module, in declaration order.
 func (a *Analyzer) ExecuteAll(mod *ast.Module) ([]*Result, error) {
+	col := a.opts.Telemetry
 	if a.cache() == nil {
-		return a.executeAllUncached(mod)
+		start := col.Clock()
+		out, err := a.executeAllUncached(mod)
+		if err == nil {
+			col.RecordLookup(telemetry.EPExecuteAll, false, col.Since(start))
+		}
+		return out, err
 	}
+	start := col.Clock()
 	key := a.runRecordKey(printer.Module(mod))
 	if rec := a.getRunRecord(key); rec != nil && rec.Complete && len(rec.Results) == len(mod.Commands) {
-		return rec.materializeAll(mod.Commands), nil
+		out := rec.materializeAll(mod.Commands)
+		col.RecordLookup(telemetry.EPExecuteAll, true, col.Since(start))
+		return out, nil
 	}
 	out, err := a.executeAllUncached(mod)
 	if err != nil {
 		return nil, err
 	}
 	a.cache().Put(key, newRunRecord(out, true))
+	col.RecordLookup(telemetry.EPExecuteAll, false, col.Since(start))
 	return out, nil
 }
 
@@ -311,13 +346,20 @@ func (a *Analyzer) executeAllUncached(mod *ast.Module) ([]*Result, error) {
 // at the first command that misses its expectation. It is the fast path
 // for oracle checks in repair search loops.
 func (a *Analyzer) PassesAll(mod *ast.Module) (bool, error) {
+	col := a.opts.Telemetry
 	if a.cache() == nil {
+		start := col.Clock()
 		pass, _, err := a.passesAllUncached(mod)
+		if err == nil {
+			col.RecordLookup(telemetry.EPPassesAll, false, col.Since(start))
+		}
 		return pass, err
 	}
+	start := col.Clock()
 	key := a.runRecordKey(printer.Module(mod))
 	if rec := a.getRunRecord(key); rec != nil {
 		if pass, ok := rec.passesAll(mod.Commands); ok {
+			col.RecordLookup(telemetry.EPPassesAll, true, col.Since(start))
 			return pass, nil
 		}
 	}
@@ -329,6 +371,7 @@ func (a *Analyzer) PassesAll(mod *ast.Module) (bool, error) {
 	// early still records the failing prefix, which answers future
 	// PassesAll queries; ExecuteAll upgrades it on demand).
 	a.cache().Put(key, newRunRecord(results, len(results) == len(mod.Commands)))
+	col.RecordLookup(telemetry.EPPassesAll, false, col.Since(start))
 	return pass, nil
 }
 
@@ -374,12 +417,20 @@ func (a *Analyzer) Verdicts(mod *ast.Module) ([]bool, error) {
 // must reproduce every verdict. Malformed candidates are simply not
 // equisatisfiable (nil error).
 func (a *Analyzer) EquisatBaseline(gtCommands []*ast.Command, verdicts []bool, candidate *ast.Module) (bool, error) {
+	col := a.opts.Telemetry
 	if a.cache() == nil {
-		return a.equisatBaselineUncached(gtCommands, verdicts, candidate)
+		start := col.Clock()
+		eq, err := a.equisatBaselineUncached(gtCommands, verdicts, candidate)
+		if err == nil {
+			col.RecordLookup(telemetry.EPEquisat, false, col.Since(start))
+		}
+		return eq, err
 	}
+	start := col.Clock()
 	key := a.equisatKey(gtCommands, verdicts, printer.Module(candidate))
 	if v, ok := a.cache().Get(key); ok {
 		if eq, ok := v.(bool); ok {
+			col.RecordLookup(telemetry.EPEquisat, true, col.Since(start))
 			return eq, nil
 		}
 	}
@@ -388,6 +439,7 @@ func (a *Analyzer) EquisatBaseline(gtCommands []*ast.Command, verdicts []bool, c
 		return eq, err
 	}
 	a.cache().Put(key, eq)
+	col.RecordLookup(telemetry.EPEquisat, false, col.Since(start))
 	return eq, nil
 }
 

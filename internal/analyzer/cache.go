@@ -39,9 +39,11 @@ func snapshotResult(r *Result) *cachedResult {
 	return cr
 }
 
-// materialize rebinds the cached outcome to the caller's command.
+// materialize rebinds the cached outcome to the caller's command. The
+// returned Result is marked FromCache so telemetry can tell replays from
+// real solves; FromCache never feeds back into cache keys or verdicts.
 func (cr *cachedResult) materialize(cmd *ast.Command) *Result {
-	res := &Result{Command: cmd, Sat: cr.Sat, Status: cr.Status, Stats: cr.Stats}
+	res := &Result{Command: cmd, Sat: cr.Sat, Status: cr.Status, Stats: cr.Stats, FromCache: true}
 	if cr.Instance != nil {
 		res.Instance = cr.Instance.Clone()
 	}

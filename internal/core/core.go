@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"specrepair/internal/alloy/printer"
 	"specrepair/internal/anacache"
@@ -23,6 +24,7 @@ import (
 	"specrepair/internal/repair/icebar"
 	"specrepair/internal/repair/multiround"
 	"specrepair/internal/repair/singleround"
+	"specrepair/internal/telemetry"
 )
 
 // TechniqueNames lists the twelve techniques in the paper's table order.
@@ -40,11 +42,16 @@ var TraditionalNames = TechniqueNames[:4]
 var LLMNames = TechniqueNames[4:]
 
 // Factory builds a fresh technique instance. Instances are not required to
-// be safe for concurrent use, so the runner creates one per worker.
+// be safe for concurrent use, so the runner creates one per worker. NewWith
+// binds the instance to a telemetry collector (nil for none) so a worker's
+// solver and analyzer effort is attributed to the jobs it runs.
 type Factory struct {
-	Name string
-	New  func() repair.Technique
+	Name    string
+	NewWith func(col *telemetry.Collector) repair.Technique
 }
+
+// New builds an uninstrumented instance.
+func (f Factory) New() repair.Technique { return f.NewWith(nil) }
 
 // searchBudgets keeps whole-benchmark runs tractable: the traditional
 // tools' candidate caps trade a little repair power for wall-clock time,
@@ -69,29 +76,34 @@ func StudyFactories(seed int64) []Factory {
 // re-check near-identical intermediate specs — is solved once instead of
 // once per technique per worker.
 func CachedStudyFactories(seed int64, cache *anacache.Cache) []Factory {
-	newAnalyzer := func() *analyzer.Analyzer { return analyzer.New(analyzer.Options{Cache: cache}) }
+	newAnalyzer := func(col *telemetry.Collector) *analyzer.Analyzer {
+		return analyzer.New(analyzer.Options{Cache: cache, Telemetry: col})
+	}
 	fs := []Factory{
-		{Name: "ARepair", New: func() repair.Technique {
-			return arepair.New(arepair.Options{})
+		{Name: "ARepair", NewWith: func(col *telemetry.Collector) repair.Technique {
+			return arepair.New(arepair.Options{Telemetry: col})
 		}},
-		{Name: "ICEBAR", New: func() repair.Technique {
+		{Name: "ICEBAR", NewWith: func(col *telemetry.Collector) repair.Technique {
 			opts := icebar.DefaultOptions()
-			opts.Analyzer = newAnalyzer()
+			opts.Analyzer = newAnalyzer(col)
 			opts.Cache = cache
+			opts.Telemetry = col
 			return icebar.New(opts)
 		}},
-		{Name: "BeAFix", New: func() repair.Technique {
+		{Name: "BeAFix", NewWith: func(col *telemetry.Collector) repair.Technique {
 			opts := beafix.DefaultOptions()
 			opts.MaxCandidates = beafixMaxCandidates
-			opts.Analyzer = newAnalyzer()
+			opts.Analyzer = newAnalyzer(col)
 			opts.Cache = cache
+			opts.Telemetry = col
 			return beafix.New(opts)
 		}},
-		{Name: "ATR", New: func() repair.Technique {
+		{Name: "ATR", NewWith: func(col *telemetry.Collector) repair.Technique {
 			opts := atr.DefaultOptions()
 			opts.MaxCandidates = atrMaxCandidates
-			opts.Analyzer = newAnalyzer()
+			opts.Analyzer = newAnalyzer(col)
 			opts.Cache = cache
+			opts.Telemetry = col
 			return atr.New(opts)
 		}},
 	}
@@ -99,11 +111,12 @@ func CachedStudyFactories(seed int64, cache *anacache.Cache) []Factory {
 		setting := setting
 		fs = append(fs, Factory{
 			Name: "Single-Round_" + setting.String(),
-			New: func() repair.Technique {
+			NewWith: func(col *telemetry.Collector) repair.Technique {
 				return singleround.New(singleround.Options{
-					Setting:  setting,
-					Client:   llm.NewSimulatedModel(seed),
-					Analyzer: newAnalyzer(),
+					Setting:   setting,
+					Client:    llm.NewSimulatedModel(seed),
+					Analyzer:  newAnalyzer(col),
+					Telemetry: col,
 				})
 			},
 		})
@@ -112,12 +125,13 @@ func CachedStudyFactories(seed int64, cache *anacache.Cache) []Factory {
 		fb := fb
 		fs = append(fs, Factory{
 			Name: "Multi-Round_" + fb.String(),
-			New: func() repair.Technique {
+			NewWith: func(col *telemetry.Collector) repair.Technique {
 				return multiround.New(multiround.Options{
-					Feedback: fb,
-					Client:   llm.NewSimulatedModel(seed),
-					Analyzer: newAnalyzer(),
-					Cache:    cache,
+					Feedback:  fb,
+					Client:    llm.NewSimulatedModel(seed),
+					Analyzer:  newAnalyzer(col),
+					Cache:     cache,
+					Telemetry: col,
 				})
 			},
 		})
@@ -165,6 +179,12 @@ type Evaluation struct {
 	// one (zero value otherwise). Counters are cumulative over the cache's
 	// lifetime, so back-to-back evaluations on one cache see growing totals.
 	CacheStats anacache.Stats
+	// TechStats aggregates each technique's self-reported effort (candidates
+	// tried, analyzer calls, test runs, iterations) over the whole suite.
+	TechStats map[string]repair.Stats
+	// Telemetry is a headline snapshot of the runner's registry taken when
+	// the evaluation finished (zero value when the runner had none).
+	Telemetry telemetry.Brief
 }
 
 // REPCount returns the number of REP=1 specs for a technique, optionally
@@ -222,10 +242,15 @@ type Runner struct {
 	// scoring analyzer. Pass the same instance to CachedStudyFactories so
 	// the techniques' own candidate validations land in the same store.
 	Cache *anacache.Cache
+	// Telemetry, when non-nil, receives a span per (technique, spec) job
+	// plus solver, analyzer, and technique-level live metrics. Each worker
+	// gets its own collector so job-effort attribution is exact. Nil
+	// disables instrumentation entirely; results are identical either way.
+	Telemetry *telemetry.Registry
 	// Progress, when non-nil, receives one call per completed (technique,
-	// spec) pair, along with a point-in-time snapshot of the shared
-	// analysis cache (zero Stats when the runner is uncached).
-	Progress func(technique, spec string, done, total int, cache anacache.Stats)
+	// spec) pair, along with point-in-time snapshots of the shared analysis
+	// cache and the telemetry registry (zero values when absent).
+	Progress func(technique, spec string, done, total int, cache anacache.Stats, tel telemetry.Brief)
 }
 
 // cacheStats snapshots the shared cache (zero value when uncached).
@@ -242,7 +267,11 @@ func (r *Runner) Evaluate(suite *bench.Suite, factories []Factory) (*Evaluation,
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	eval := &Evaluation{Suite: suite, Results: map[string]map[string]*Result{}}
+	eval := &Evaluation{
+		Suite:     suite,
+		Results:   map[string]map[string]*Result{},
+		TechStats: map[string]repair.Stats{},
+	}
 	for _, f := range factories {
 		eval.Results[f.Name] = map[string]*Result{}
 	}
@@ -259,15 +288,48 @@ func (r *Runner) Evaluate(suite *bench.Suite, factories []Factory) (*Evaluation,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			an := analyzer.New(analyzer.Options{Cache: r.Cache})
+			// One collector per worker: a worker runs one job at a time, so
+			// bracketing each job with BeginJob/TakeJobEffort attributes the
+			// solver and cache work of this worker's analyzers and
+			// techniques to exactly that job.
+			col := telemetry.NewCollector(r.Telemetry)
+			an := analyzer.New(analyzer.Options{Cache: r.Cache, Telemetry: col})
 			tools := map[string]repair.Technique{}
 			for j := range jobs {
 				tool, ok := tools[j.factory.Name]
 				if !ok {
-					tool = j.factory.New()
+					tool = j.factory.NewWith(col)
 					tools[j.factory.Name] = tool
 				}
-				results <- evaluateOne(an, tool, j.factory.Name, j.spec)
+				if r.Telemetry == nil {
+					results <- evaluateOne(an, tool, j.factory.Name, j.spec)
+					continue
+				}
+				col.BeginJob()
+				start := time.Now()
+				res := evaluateOne(an, tool, j.factory.Name, j.spec)
+				dur := time.Since(start)
+				outcome := telemetry.OutcomeFailed
+				switch {
+				case res.Err != nil:
+					outcome = telemetry.OutcomeError
+				case res.Outcome.Repaired:
+					outcome = telemetry.OutcomeRepaired
+				}
+				r.Telemetry.RecordJob(telemetry.JobRecord{
+					Technique:     j.factory.Name,
+					Spec:          suite.Name + "/" + j.spec.Name,
+					Start:         start,
+					Duration:      dur,
+					Outcome:       outcome,
+					REP:           res.REP,
+					Candidates:    res.Outcome.Stats.CandidatesTried,
+					AnalyzerCalls: res.Outcome.Stats.AnalyzerCalls,
+					TestRuns:      res.Outcome.Stats.TestRuns,
+					Iterations:    res.Outcome.Stats.Iterations,
+					Effort:        col.TakeJobEffort(),
+				})
+				results <- res
 			}
 		}()
 	}
@@ -287,12 +349,16 @@ func (r *Runner) Evaluate(suite *bench.Suite, factories []Factory) (*Evaluation,
 	done := 0
 	for res := range results {
 		eval.Results[res.Technique][res.Spec.Name] = res
+		ts := eval.TechStats[res.Technique]
+		ts.Add(res.Outcome.Stats)
+		eval.TechStats[res.Technique] = ts
 		done++
 		if r.Progress != nil {
-			r.Progress(res.Technique, res.Spec.Name, done, total, r.cacheStats())
+			r.Progress(res.Technique, res.Spec.Name, done, total, r.cacheStats(), r.Telemetry.Brief())
 		}
 	}
 	eval.CacheStats = r.cacheStats()
+	eval.Telemetry = r.Telemetry.Brief()
 	return eval, nil
 }
 

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"strings"
+	"sync"
 	"testing"
 
+	"specrepair/internal/anacache"
 	"specrepair/internal/bench"
 	"specrepair/internal/repair"
+	"specrepair/internal/telemetry"
 )
 
 func TestStudyFactoriesCoverAllNames(t *testing.T) {
@@ -151,8 +155,8 @@ func TestEvaluateOneMalformedTool(t *testing.T) {
 	// A technique erroring must produce a scored result, not poison the run.
 	suite := miniSuite(t)
 	factories := []Factory{{
-		Name: "broken",
-		New:  func() repair.Technique { return brokenTool{} },
+		Name:    "broken",
+		NewWith: func(*telemetry.Collector) repair.Technique { return brokenTool{} },
 	}}
 	runner := &Runner{Workers: 1}
 	eval, err := runner.Evaluate(suite, factories)
@@ -194,5 +198,131 @@ func TestMeanSimilarityIdenticalCandidate(t *testing.T) {
 	tm, sm := eval.MeanSimilarity("x")
 	if tm != 1 || sm != 1 {
 		t.Errorf("mean similarity = %f, %f", tm, sm)
+	}
+}
+
+// recordingSink collects spans in memory for assertions.
+type recordingSink struct {
+	mu    sync.Mutex
+	spans []telemetry.SpanRecord
+}
+
+func (s *recordingSink) Record(sr telemetry.SpanRecord) {
+	s.mu.Lock()
+	s.spans = append(s.spans, sr)
+	s.mu.Unlock()
+}
+
+func TestRunnerTelemetry(t *testing.T) {
+	suite := miniSuite(t)
+	reg := telemetry.New()
+	sink := &recordingSink{}
+	reg.SetSink(sink)
+	var factories []Factory
+	for _, f := range StudyFactories(1) {
+		if f.Name == "BeAFix" || f.Name == "ARepair" {
+			factories = append(factories, f)
+		}
+	}
+	runner := &Runner{Workers: 2, Seed: 1, Telemetry: reg}
+	progressed := false
+	runner.Progress = func(tech, spec string, done, total int, cs anacache.Stats, tel telemetry.Brief) {
+		if tel.Jobs > 0 {
+			progressed = true
+		}
+	}
+	eval, err := runner.Evaluate(suite, factories)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	total := int64(len(factories) * len(suite.Specs))
+	if got := reg.CounterValue(telemetry.CtrJobs); got != total {
+		t.Errorf("jobs counter = %d, want %d", got, total)
+	}
+	if !progressed {
+		t.Error("Progress never saw a telemetry brief with jobs > 0")
+	}
+	if eval.Telemetry.Jobs != total {
+		t.Errorf("evaluation brief jobs = %d, want %d", eval.Telemetry.Jobs, total)
+	}
+
+	// One span per job, each with the suite-qualified spec label and a
+	// non-zero duration.
+	if int64(len(sink.spans)) != total {
+		t.Fatalf("spans = %d, want %d", len(sink.spans), total)
+	}
+	for _, sr := range sink.spans {
+		if sr.Name != "job" || sr.Technique == "" {
+			t.Errorf("malformed span: %+v", sr)
+		}
+		if !strings.HasPrefix(sr.Spec, suite.Name+"/") {
+			t.Errorf("span spec %q not suite-qualified", sr.Spec)
+		}
+		if sr.DurationNs <= 0 {
+			t.Errorf("span %s/%s has non-positive duration %d", sr.Technique, sr.Spec, sr.DurationNs)
+		}
+	}
+
+	// Per-technique aggregates match the evaluation's stats sums.
+	techs := map[string]telemetry.TechniqueStat{}
+	for _, ts := range reg.Techniques() {
+		techs[ts.Technique] = ts
+	}
+	for _, f := range factories {
+		ts, ok := techs[f.Name]
+		if !ok {
+			t.Errorf("no telemetry aggregate for %s", f.Name)
+			continue
+		}
+		if ts.Jobs != int64(len(suite.Specs)) {
+			t.Errorf("%s telemetry jobs = %d, want %d", f.Name, ts.Jobs, len(suite.Specs))
+		}
+		if ts.Candidates != int64(eval.TechStats[f.Name].CandidatesTried) {
+			t.Errorf("%s candidates: telemetry %d vs evaluation %d",
+				f.Name, ts.Candidates, eval.TechStats[f.Name].CandidatesTried)
+		}
+	}
+
+	// BeAFix exercises the solver; its jobs must have attributed effort.
+	if techs["BeAFix"].Solves == 0 {
+		t.Error("BeAFix jobs recorded no attributed solves")
+	}
+}
+
+// TestRunnerTelemetryDoesNotChangeResults is the A/B guard: running with a
+// registry must not alter any scored result.
+func TestRunnerTelemetryDoesNotChangeResults(t *testing.T) {
+	suite := miniSuite(t)
+	var factories []Factory
+	for _, f := range StudyFactories(3) {
+		if f.Name == "BeAFix" || f.Name == "Single-Round_None" {
+			factories = append(factories, f)
+		}
+	}
+	// One worker makes the job-to-worker assignment deterministic: BeAFix
+	// instances carry search state across the jobs of their worker, so
+	// multi-worker runs depend on scheduling regardless of telemetry.
+	plain, err := (&Runner{Workers: 1, Seed: 3}).Evaluate(suite, factories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := (&Runner{Workers: 1, Seed: 3, Telemetry: telemetry.New()}).Evaluate(suite, factories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range factories {
+		for name, pr := range plain.Results[f.Name] {
+			ir := instr.Results[f.Name][name]
+			if ir == nil {
+				t.Fatalf("%s/%s missing from instrumented run", f.Name, name)
+			}
+			if pr.REP != ir.REP || pr.TM != ir.TM || pr.SM != ir.SM ||
+				pr.Outcome.Repaired != ir.Outcome.Repaired ||
+				pr.Outcome.Stats != ir.Outcome.Stats {
+				t.Errorf("%s/%s diverged with telemetry on:\nplain %+v\ninstr %+v",
+					f.Name, name, pr, ir)
+			}
+		}
 	}
 }

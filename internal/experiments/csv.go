@@ -12,10 +12,18 @@ import (
 
 // WriteCSV exports the study's data as machine-readable CSV files into dir:
 //
-//	table1.csv  domain-level REP counts per technique
-//	fig2.csv    mean TM/SM per technique
-//	fig3.csv    Pearson correlation matrix
-//	table2.csv  the 32 hybrid combinations
+//	table1.csv     domain-level REP counts per technique
+//	fig2.csv       mean TM/SM per technique
+//	fig3.csv       Pearson correlation matrix
+//	table2.csv     the 32 hybrid combinations
+//	techstats.csv  per-technique self-reported effort sums
+//	phases.csv     wall-clock breakdown of the run's phases
+//
+// When the study ran with telemetry, two more files carry the measured
+// performance profile:
+//
+//	telemetry_techniques.csv  job-duration quantiles and effort per technique
+//	telemetry_specs.csv       per-spec total duration and solver conflicts
 //
 // The files carry exactly the data behind the rendered tables and figures,
 // for external plotting.
@@ -101,5 +109,70 @@ func (s *Study) WriteCSV(dir string) error {
 			strconv.Itoa(h.Overlap), strconv.Itoa(h.Union),
 		})
 	}
-	return write("table2.csv", rows)
+	if err := write("table2.csv", rows); err != nil {
+		return err
+	}
+
+	// techstats.csv
+	stats := s.TechStats()
+	rows = [][]string{{"technique", "candidates_tried", "analyzer_calls", "test_runs", "iterations"}}
+	for _, tech := range core.TechniqueNames {
+		st := stats[tech]
+		rows = append(rows, []string{tech,
+			strconv.Itoa(st.CandidatesTried), strconv.Itoa(st.AnalyzerCalls),
+			strconv.Itoa(st.TestRuns), strconv.Itoa(st.Iterations)})
+	}
+	if err := write("techstats.csv", rows); err != nil {
+		return err
+	}
+
+	// phases.csv
+	rows = [][]string{{"phase", "duration_ns"}}
+	for _, p := range s.Phases {
+		rows = append(rows, []string{p.Name, strconv.FormatInt(p.Duration.Nanoseconds(), 10)})
+	}
+	if err := write("phases.csv", rows); err != nil {
+		return err
+	}
+
+	if s.Telemetry == nil {
+		return nil
+	}
+
+	// telemetry_techniques.csv
+	rows = [][]string{{"technique", "jobs", "repaired", "errors",
+		"duration_p50_ns", "duration_p95_ns", "duration_max_ns",
+		"candidates", "analyzer_calls", "test_runs", "iterations",
+		"solves", "conflicts", "solve_ns"}}
+	for _, ts := range s.Telemetry.Techniques() {
+		rows = append(rows, []string{ts.Technique,
+			strconv.FormatInt(ts.Jobs, 10),
+			strconv.FormatInt(ts.Repaired, 10),
+			strconv.FormatInt(ts.Errors, 10),
+			strconv.FormatInt(ts.Duration.Quantile(0.50), 10),
+			strconv.FormatInt(ts.Duration.Quantile(0.95), 10),
+			strconv.FormatInt(ts.Duration.Max, 10),
+			strconv.FormatInt(ts.Candidates, 10),
+			strconv.FormatInt(ts.AnalyzerCalls, 10),
+			strconv.FormatInt(ts.TestRuns, 10),
+			strconv.FormatInt(ts.Iterations, 10),
+			strconv.FormatInt(ts.Solves, 10),
+			strconv.FormatInt(ts.Conflicts, 10),
+			strconv.FormatInt(ts.SolveNs, 10)})
+	}
+	if err := write("telemetry_techniques.csv", rows); err != nil {
+		return err
+	}
+
+	// telemetry_specs.csv
+	rows = [][]string{{"spec", "jobs", "total_duration_ns", "max_duration_ns", "conflicts", "solves"}}
+	for _, ss := range s.Telemetry.Specs() {
+		rows = append(rows, []string{ss.Spec,
+			strconv.FormatInt(ss.Jobs, 10),
+			strconv.FormatInt(ss.DurationNs, 10),
+			strconv.FormatInt(ss.MaxDurationNs, 10),
+			strconv.FormatInt(ss.Conflicts, 10),
+			strconv.FormatInt(ss.Solves, 10)})
+	}
+	return write("telemetry_specs.csv", rows)
 }

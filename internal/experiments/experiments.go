@@ -9,13 +9,22 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"specrepair/internal/anacache"
 	"specrepair/internal/analyzer"
 	"specrepair/internal/bench"
 	"specrepair/internal/core"
 	"specrepair/internal/metrics"
+	"specrepair/internal/repair"
+	"specrepair/internal/telemetry"
 )
+
+// Phase is one timed stage of a study run.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
 
 // Study bundles the evaluations of both benchmark suites.
 type Study struct {
@@ -25,6 +34,16 @@ type Study struct {
 	// technique, and the REP scoring across the whole run (nil when the
 	// study ran uncached).
 	Cache *anacache.Cache
+	// Telemetry is the registry the whole run recorded into (nil when the
+	// study ran uninstrumented).
+	Telemetry *telemetry.Registry
+	// Phases is the wall-clock breakdown of the run, in execution order.
+	Phases []Phase
+}
+
+// AddPhase appends one timed stage to the run's breakdown.
+func (s *Study) AddPhase(name string, d time.Duration) {
+	s.Phases = append(s.Phases, Phase{Name: name, Duration: d})
 }
 
 // CacheStats snapshots the shared analysis cache (zero value for uncached
@@ -50,6 +69,9 @@ type Config struct {
 	// DisableCache runs the study without the shared analysis cache — the
 	// A/B baseline where every analyzer query is solved from scratch.
 	DisableCache bool
+	// Telemetry, when non-nil, instruments the whole run: generation,
+	// both evaluations, and the shared cache (exposed as gauges).
+	Telemetry *telemetry.Registry
 	// Progress receives human-readable progress lines when non-nil.
 	Progress func(string)
 }
@@ -71,45 +93,69 @@ func RunStudy(cfg Config) (*Study, error) {
 	if !cfg.DisableCache {
 		cache = anacache.New(cfg.CacheCapacity)
 	}
+	reg := cfg.Telemetry
+	if cache != nil && reg != nil {
+		// Live cache statistics, sampled at scrape time.
+		reg.SetGauge("anacache.entries", func() int64 { return cache.Stats().Entries })
+		reg.SetGauge("anacache.hits", func() int64 { return cache.Stats().Hits })
+		reg.SetGauge("anacache.misses", func() int64 { return cache.Stats().Misses })
+		reg.SetGauge("anacache.evictions", func() int64 { return cache.Stats().Evictions })
+	}
+	study := &Study{Cache: cache, Telemetry: reg}
 	progress := cfg.Progress
-	gen := bench.NewGenerator(analyzer.New(analyzer.Options{Cache: cache}))
+	// Generation is sequential, so one collector covers the whole phase.
+	gen := bench.NewGenerator(analyzer.New(analyzer.Options{
+		Cache:     cache,
+		Telemetry: telemetry.NewCollector(reg),
+	}))
 	if cfg.Scale > 1 {
 		gen.Scale = cfg.Scale
 	}
 	if progress != nil {
 		progress("generating benchmark corpora")
 	}
+	phaseStart := time.Now()
 	a4f, ar, err := gen.Both()
 	if err != nil {
 		return nil, fmt.Errorf("generating benchmarks: %w", err)
 	}
+	study.AddPhase("generate", time.Since(phaseStart))
 	factories := core.CachedStudyFactories(cfg.Seed, cache)
-	runner := &core.Runner{Workers: cfg.Workers, Seed: cfg.Seed, Cache: cache}
+	runner := &core.Runner{Workers: cfg.Workers, Seed: cfg.Seed, Cache: cache, Telemetry: reg}
 	if progress != nil {
-		runner.Progress = func(tech, spec string, done, total int, cs anacache.Stats) {
+		runner.Progress = func(tech, spec string, done, total int, cs anacache.Stats, tel telemetry.Brief) {
 			if done%500 == 0 || done == total {
 				msg := fmt.Sprintf("evaluated %d/%d", done, total)
 				if cs.Lookups() > 0 {
 					msg += fmt.Sprintf(" (cache: %.1f%% hit rate, %d lookups)",
 						100*cs.HitRate(), cs.Lookups())
 				}
+				if tel.Solves > 0 {
+					msg += fmt.Sprintf(" (solver: %d solves, %d conflicts)",
+						tel.Solves, tel.Conflicts)
+				}
 				progress(msg)
 			}
 		}
 		progress(fmt.Sprintf("evaluating %d techniques x %d A4F specs", len(factories), len(a4f.Specs)))
 	}
+	phaseStart = time.Now()
 	a4fEval, err := runner.Evaluate(a4f, factories)
 	if err != nil {
 		return nil, err
 	}
+	study.AddPhase("evaluate_a4f", time.Since(phaseStart))
 	if progress != nil {
 		progress(fmt.Sprintf("evaluating %d techniques x %d ARepair specs", len(factories), len(ar.Specs)))
 	}
+	phaseStart = time.Now()
 	arEval, err := runner.Evaluate(ar, factories)
 	if err != nil {
 		return nil, err
 	}
-	return &Study{A4F: a4fEval, ARepair: arEval, Cache: cache}, nil
+	study.AddPhase("evaluate_arepair", time.Since(phaseStart))
+	study.A4F, study.ARepair = a4fEval, arEval
+	return study, nil
 }
 
 // domainOrder lists domains in the paper's row order.
@@ -351,5 +397,35 @@ func (s *Study) Summary() string {
 	} else {
 		b.WriteString("  analysis cache: off\n")
 	}
+	if stats := s.TechStats(); len(stats) > 0 {
+		b.WriteString("\nPer-technique effort (both benchmarks)\n")
+		fmt.Fprintf(&b, "  %-24s %10s %10s %10s %10s\n",
+			"Technique", "candidates", "ana.calls", "test runs", "iterations")
+		for _, tech := range core.TechniqueNames {
+			st, ok := stats[tech]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-24s %10d %10d %10d %10d\n",
+				tech, st.CandidatesTried, st.AnalyzerCalls, st.TestRuns, st.Iterations)
+		}
+	}
 	return b.String()
+}
+
+// TechStats sums each technique's self-reported effort over both benchmark
+// evaluations.
+func (s *Study) TechStats() map[string]repair.Stats {
+	out := map[string]repair.Stats{}
+	for _, eval := range []*core.Evaluation{s.A4F, s.ARepair} {
+		if eval == nil {
+			continue
+		}
+		for tech, st := range eval.TechStats {
+			agg := out[tech]
+			agg.Add(st)
+			out[tech] = agg
+		}
+	}
+	return out
 }

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"specrepair/internal/telemetry"
+)
+
+// TelemetryReport renders the post-run performance report from the study's
+// registry: techniques ranked by p95 job duration, the slowest and most
+// conflict-heavy specs, the solver-effort distribution, and the analyzer's
+// cache-hit/miss latency split. Returns "" when the study ran without
+// telemetry.
+func (s *Study) TelemetryReport() string {
+	reg := s.Telemetry
+	if reg == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("Telemetry report\n")
+
+	fmt.Fprintf(&b, "  jobs: %d completed, %d repaired, %d errored\n",
+		reg.CounterValue(telemetry.CtrJobs),
+		reg.CounterValue(telemetry.CtrJobsRepaired),
+		reg.CounterValue(telemetry.CtrJobsErrored))
+	fmt.Fprintf(&b, "  solver: %d solves, %d conflicts, %d decisions, %d propagations, %d budget exhaustions\n",
+		reg.CounterValue(telemetry.CtrSolves),
+		reg.CounterValue(telemetry.CtrConflicts),
+		reg.CounterValue(telemetry.CtrDecisions),
+		reg.CounterValue(telemetry.CtrPropagations),
+		reg.CounterValue(telemetry.CtrBudgetExhausted))
+	hits := reg.CounterValue(telemetry.CtrAnalyzerHits)
+	misses := reg.CounterValue(telemetry.CtrAnalyzerMisses)
+	if hits+misses > 0 {
+		fmt.Fprintf(&b, "  analyzer lookups: %d (%.1f%% served from cache)\n",
+			hits+misses, 100*float64(hits)/float64(hits+misses))
+	}
+	if hitNs, ok := reg.HistogramSnapshot(telemetry.HistHitNs); ok && hitNs.Count > 0 {
+		fmt.Fprintf(&b, "  cache-hit latency:  p50 %-10s p95 %-10s max %s\n",
+			fmtNs(hitNs.Quantile(0.50)), fmtNs(hitNs.Quantile(0.95)), fmtNs(hitNs.Max))
+	}
+	if missNs, ok := reg.HistogramSnapshot(telemetry.HistMissNs); ok && missNs.Count > 0 {
+		fmt.Fprintf(&b, "  cache-miss latency: p50 %-10s p95 %-10s max %s\n",
+			fmtNs(missNs.Quantile(0.50)), fmtNs(missNs.Quantile(0.95)), fmtNs(missNs.Max))
+	}
+
+	// Techniques ranked by p95 job duration, heaviest first.
+	techs := reg.Techniques()
+	sort.Slice(techs, func(i, j int) bool {
+		return techs[i].Duration.Quantile(0.95) > techs[j].Duration.Quantile(0.95)
+	})
+	if len(techs) > 0 {
+		b.WriteString("\n  Techniques by p95 job duration\n")
+		fmt.Fprintf(&b, "  %-24s %6s %10s %10s %10s %10s %10s %12s\n",
+			"Technique", "jobs", "p50", "p95", "max", "cand/job", "ana/job", "conflicts")
+		for _, ts := range techs {
+			jobs := ts.Jobs
+			if jobs == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-24s %6d %10s %10s %10s %10.1f %10.1f %12d\n",
+				ts.Technique, jobs,
+				fmtNs(ts.Duration.Quantile(0.50)),
+				fmtNs(ts.Duration.Quantile(0.95)),
+				fmtNs(ts.Duration.Max),
+				float64(ts.Candidates)/float64(jobs),
+				float64(ts.AnalyzerCalls)/float64(jobs),
+				ts.Conflicts)
+		}
+	}
+
+	specs := reg.Specs()
+	if len(specs) > 0 {
+		bySlowest := append([]telemetry.SpecStat(nil), specs...)
+		sort.Slice(bySlowest, func(i, j int) bool { return bySlowest[i].DurationNs > bySlowest[j].DurationNs })
+		b.WriteString("\n  Slowest specs (total job time across techniques)\n")
+		for i, ss := range bySlowest {
+			if i >= 10 {
+				break
+			}
+			fmt.Fprintf(&b, "  %-40s %10s over %d jobs (max %s)\n",
+				ss.Spec, fmtNs(ss.DurationNs), ss.Jobs, fmtNs(ss.MaxDurationNs))
+		}
+		byConflicts := append([]telemetry.SpecStat(nil), specs...)
+		sort.Slice(byConflicts, func(i, j int) bool { return byConflicts[i].Conflicts > byConflicts[j].Conflicts })
+		if byConflicts[0].Conflicts > 0 {
+			b.WriteString("\n  Hardest specs (total solver conflicts)\n")
+			for i, ss := range byConflicts {
+				if i >= 10 || ss.Conflicts == 0 {
+					break
+				}
+				fmt.Fprintf(&b, "  %-40s %10d conflicts over %d solves\n",
+					ss.Spec, ss.Conflicts, ss.Solves)
+			}
+		}
+	}
+
+	if snap, ok := reg.HistogramSnapshot(telemetry.HistConflictsPerSolve); ok && snap.Count > 0 {
+		b.WriteString("\n  Conflicts per solve\n")
+		b.WriteString(renderHistogram(snap, "  "))
+	}
+	if snap, ok := reg.HistogramSnapshot(telemetry.HistSolveNs); ok && snap.Count > 0 {
+		fmt.Fprintf(&b, "\n  Solve latency: p50 %s  p95 %s  p99 %s  max %s over %d solves\n",
+			fmtNs(snap.Quantile(0.50)), fmtNs(snap.Quantile(0.95)),
+			fmtNs(snap.Quantile(0.99)), fmtNs(snap.Max), snap.Count)
+	}
+	return b.String()
+}
+
+// renderHistogram draws one log-scale histogram as indented text bars.
+func renderHistogram(snap telemetry.HistSnapshot, indent string) string {
+	var peak int64
+	top := 0
+	for i, n := range snap.Buckets {
+		if n > peak {
+			peak = n
+		}
+		if n > 0 {
+			top = i
+		}
+	}
+	if peak == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i <= top; i++ {
+		n := snap.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		width := int(40 * n / peak)
+		if width == 0 {
+			width = 1
+		}
+		fmt.Fprintf(&b, "%s<= %-12d %8d %s\n",
+			indent, telemetry.BucketBound(i), n, strings.Repeat("#", width))
+	}
+	return b.String()
+}
+
+// RenderPhases renders the run's wall-clock breakdown.
+func (s *Study) RenderPhases() string {
+	if len(s.Phases) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	var total time.Duration
+	for _, p := range s.Phases {
+		total += p.Duration
+	}
+	b.WriteString("Phase timings\n")
+	for _, p := range s.Phases {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(p.Duration) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-18s %12s  %5.1f%%\n", p.Name, p.Duration.Round(time.Millisecond), pct)
+	}
+	fmt.Fprintf(&b, "  %-18s %12s\n", "total", total.Round(time.Millisecond))
+	return b.String()
+}
+
+// fmtNs renders nanoseconds with a friendly unit.
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -19,6 +19,7 @@ import (
 	"specrepair/internal/faultloc"
 	"specrepair/internal/mutation"
 	"specrepair/internal/repair"
+	"specrepair/internal/telemetry"
 )
 
 // Options bounds the greedy search.
@@ -30,6 +31,8 @@ type Options struct {
 	MaxSites int
 	// Budget selects mutation aggressiveness.
 	Budget mutation.Budget
+	// Telemetry records live test-run counts. Nil disables instrumentation.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultOptions mirror the search depth ARepair uses in the study.
@@ -39,15 +42,18 @@ func DefaultOptions() Options {
 
 // Tool is the ARepair technique.
 type Tool struct {
-	opts Options
+	opts     Options
+	testRuns *telemetry.Counter
 }
 
 // New returns the technique with the given options.
 func New(opts Options) *Tool {
 	if opts.MaxIterations == 0 {
+		tel := opts.Telemetry
 		opts = DefaultOptions()
+		opts.Telemetry = tel
 	}
-	return &Tool{opts: opts}
+	return &Tool{opts: opts, testRuns: opts.Telemetry.TechCounter("ARepair", "test_runs")}
 }
 
 var _ repair.Technique = (*Tool)(nil)
@@ -65,6 +71,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 
 	_, passed := p.Tests.RunAll(current)
 	out.Stats.TestRuns++
+	t.testRuns.Inc()
 	best := passed
 	if best == p.Tests.Len() {
 		out.Repaired = true
@@ -77,6 +84,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 		improved, cand, tried, err := t.improveOnce(current, p.Tests, best)
 		out.Stats.CandidatesTried += tried
 		out.Stats.TestRuns += tried
+		t.testRuns.Add(int64(tried))
 		if err != nil {
 			return out, err
 		}
@@ -86,6 +94,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 		current = cand
 		_, best = p.Tests.RunAll(current)
 		out.Stats.TestRuns++
+		t.testRuns.Inc()
 		if best == p.Tests.Len() {
 			out.Repaired = true
 			break

@@ -31,6 +31,7 @@ import (
 	"specrepair/internal/mutation"
 	"specrepair/internal/repair"
 	"specrepair/internal/sat"
+	"specrepair/internal/telemetry"
 	"specrepair/internal/translate"
 )
 
@@ -45,6 +46,9 @@ type Options struct {
 	// Cache backs the default analyzer when Analyzer is nil, so candidate
 	// validations are shared with every other technique on the same cache.
 	Cache *anacache.Cache
+	// Telemetry records the search's live effort, including the PMaxSAT
+	// nearest-instance solves. Nil disables instrumentation.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultOptions mirror the study's configuration.
@@ -54,8 +58,9 @@ func DefaultOptions() Options {
 
 // Tool is the ATR technique.
 type Tool struct {
-	opts Options
-	an   *analyzer.Analyzer
+	opts       Options
+	an         *analyzer.Analyzer
+	candidates *telemetry.Counter
 }
 
 // New returns the technique with the given options.
@@ -64,13 +69,18 @@ func New(opts Options) *Tool {
 		d := DefaultOptions()
 		d.Analyzer = opts.Analyzer
 		d.Cache = opts.Cache
+		d.Telemetry = opts.Telemetry
 		opts = d
 	}
 	an := opts.Analyzer
 	if an == nil {
-		an = analyzer.New(analyzer.Options{Cache: opts.Cache})
+		an = analyzer.New(analyzer.Options{Cache: opts.Cache, Telemetry: opts.Telemetry})
 	}
-	return &Tool{opts: opts, an: an}
+	return &Tool{
+		opts:       opts,
+		an:         an,
+		candidates: opts.Telemetry.TechCounter("ATR", "candidates"),
+	}
 }
 
 var _ repair.Technique = (*Tool)(nil)
@@ -153,6 +163,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 				continue
 			}
 			out.Stats.CandidatesTried++
+			t.candidates.Inc()
 			pass, err := repair.OracleAllCommandsPass(t.an, candMod)
 			out.Stats.AnalyzerCalls++
 			if err != nil {
@@ -182,6 +193,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 				continue
 			}
 			out.Stats.CandidatesTried++
+			t.candidates.Inc()
 			pass, err := repair.OracleAllCommandsPass(t.an, candMod)
 			out.Stats.AnalyzerCalls++
 			if err != nil {
@@ -268,6 +280,7 @@ func (t *Tool) nearestSatisfying(low *ast.Module, info *types.Info, cmd *ast.Com
 
 	ms := sat.NewMaxSolver(tr.NumVars())
 	ms.MaxConflicts = analyzer.DefaultMaxConflicts
+	ms.Telemetry = t.opts.Telemetry
 	cb := translate.NewCNFBuilder(ms, tr.NumVars())
 	cb.AddAssert(translate.And(parts...))
 

@@ -25,6 +25,7 @@ import (
 	"specrepair/internal/instance"
 	"specrepair/internal/mutation"
 	"specrepair/internal/repair"
+	"specrepair/internal/telemetry"
 )
 
 // Options bounds the exhaustive search.
@@ -44,6 +45,9 @@ type Options struct {
 	// Cache backs the default analyzer when Analyzer is nil, so candidate
 	// validations are shared with every other technique on the same cache.
 	Cache *anacache.Cache
+	// Telemetry records the search's live effort (candidates tried, solver
+	// work). Nil disables instrumentation; results are unaffected either way.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultOptions mirror the study's configuration.
@@ -53,8 +57,9 @@ func DefaultOptions() Options {
 
 // Tool is the BeAFix technique.
 type Tool struct {
-	opts Options
-	an   *analyzer.Analyzer
+	opts       Options
+	an         *analyzer.Analyzer
+	candidates *telemetry.Counter
 }
 
 // New returns the technique with the given options.
@@ -64,13 +69,18 @@ func New(opts Options) *Tool {
 		d.DisablePruning = opts.DisablePruning
 		d.Analyzer = opts.Analyzer
 		d.Cache = opts.Cache
+		d.Telemetry = opts.Telemetry
 		opts = d
 	}
 	an := opts.Analyzer
 	if an == nil {
-		an = analyzer.New(analyzer.Options{Cache: opts.Cache})
+		an = analyzer.New(analyzer.Options{Cache: opts.Cache, Telemetry: opts.Telemetry})
 	}
-	return &Tool{opts: opts, an: an}
+	return &Tool{
+		opts:       opts,
+		an:         an,
+		candidates: opts.Telemetry.TechCounter("BeAFix", "candidates"),
+	}
 }
 
 var _ repair.Technique = (*Tool)(nil)
@@ -159,6 +169,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 						continue
 					}
 					out.Stats.CandidatesTried++
+					t.candidates.Inc()
 					pass, err := repair.OracleAllCommandsPass(t.an, cand)
 					out.Stats.AnalyzerCalls++
 					if err != nil {
@@ -189,6 +200,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 					}
 					seen[key] = true
 					out.Stats.CandidatesTried++
+					t.candidates.Inc()
 					pass, err := repair.OracleAllCommandsPass(t.an, cand)
 					out.Stats.AnalyzerCalls++
 					if err != nil {

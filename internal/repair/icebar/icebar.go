@@ -16,6 +16,7 @@ import (
 	"specrepair/internal/aunit"
 	"specrepair/internal/repair"
 	"specrepair/internal/repair/arepair"
+	"specrepair/internal/telemetry"
 )
 
 // Options bounds the refinement loop.
@@ -29,6 +30,9 @@ type Options struct {
 	// Cache backs the default analyzer when Analyzer is nil, so oracle
 	// re-checks of intermediate candidates are shared across techniques.
 	Cache *anacache.Cache
+	// Telemetry records the refinement loop's live iteration count and is
+	// propagated to the inner ARepair. Nil disables instrumentation.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultOptions mirror the study's configuration.
@@ -43,9 +47,10 @@ func DefaultOptions() Options {
 
 // Tool is the ICEBAR technique.
 type Tool struct {
-	opts  Options
-	an    *analyzer.Analyzer
-	inner *arepair.Tool
+	opts       Options
+	an         *analyzer.Analyzer
+	inner      *arepair.Tool
+	iterations *telemetry.Counter
 }
 
 // New returns the technique with the given options.
@@ -54,13 +59,22 @@ func New(opts Options) *Tool {
 		d := DefaultOptions()
 		d.Analyzer = opts.Analyzer
 		d.Cache = opts.Cache
+		d.Telemetry = opts.Telemetry
 		opts = d
 	}
 	an := opts.Analyzer
 	if an == nil {
-		an = analyzer.New(analyzer.Options{Cache: opts.Cache})
+		an = analyzer.New(analyzer.Options{Cache: opts.Cache, Telemetry: opts.Telemetry})
 	}
-	return &Tool{opts: opts, an: an, inner: arepair.New(opts.ARepair)}
+	if opts.ARepair.Telemetry == nil {
+		opts.ARepair.Telemetry = opts.Telemetry
+	}
+	return &Tool{
+		opts:       opts,
+		an:         an,
+		inner:      arepair.New(opts.ARepair),
+		iterations: opts.Telemetry.TechCounter("ICEBAR", "iterations"),
+	}
 }
 
 var _ repair.Technique = (*Tool)(nil)
@@ -104,6 +118,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 	current := p.Faulty
 	for iter := 0; iter < t.opts.MaxIterations; iter++ {
 		out.Stats.Iterations++
+		t.iterations.Inc()
 		innerOut, err := t.inner.Repair(repair.Problem{
 			Name:   p.Name,
 			Faulty: current,

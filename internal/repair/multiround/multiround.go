@@ -18,6 +18,7 @@ import (
 	"specrepair/internal/instance"
 	"specrepair/internal/llm"
 	"specrepair/internal/repair"
+	"specrepair/internal/telemetry"
 )
 
 // Options configures the technique.
@@ -33,6 +34,8 @@ type Options struct {
 	// of near-identical intermediate specs is shared across rounds and
 	// techniques.
 	Cache *anacache.Cache
+	// Telemetry records live round counts. Nil disables instrumentation.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultRounds is the per-spec proposal budget.
@@ -40,8 +43,9 @@ const DefaultRounds = 12
 
 // Tool is the Multi-Round technique under one feedback setting.
 type Tool struct {
-	opts Options
-	an   *analyzer.Analyzer
+	opts   Options
+	an     *analyzer.Analyzer
+	rounds *telemetry.Counter
 }
 
 // New returns the technique. A Client is required.
@@ -54,9 +58,11 @@ func New(opts Options) *Tool {
 	}
 	an := opts.Analyzer
 	if an == nil {
-		an = analyzer.New(analyzer.Options{Cache: opts.Cache})
+		an = analyzer.New(analyzer.Options{Cache: opts.Cache, Telemetry: opts.Telemetry})
 	}
-	return &Tool{opts: opts, an: an}
+	t := &Tool{opts: opts, an: an}
+	t.rounds = opts.Telemetry.TechCounter(t.Name(), "rounds")
+	return t
 }
 
 var _ repair.Technique = (*Tool)(nil)
@@ -79,6 +85,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 	var best *ast.Module
 	for round := 0; round < t.opts.Rounds; round++ {
 		out.Stats.Iterations++
+		t.rounds.Inc()
 		reply, err := t.opts.Client.Complete(msgs)
 		if err != nil {
 			return out, fmt.Errorf("multi-round completion: %w", err)

@@ -42,6 +42,15 @@ type Stats struct {
 	Iterations      int
 }
 
+// Add accumulates o into s, summing field-wise. The study runner uses it to
+// aggregate per-job stats into per-technique totals.
+func (s *Stats) Add(o Stats) {
+	s.CandidatesTried += o.CandidatesTried
+	s.AnalyzerCalls += o.AnalyzerCalls
+	s.TestRuns += o.TestRuns
+	s.Iterations += o.Iterations
+}
+
 // Outcome is a technique's result on one problem.
 type Outcome struct {
 	// Repaired reports success per the technique's own oracle (tests for

@@ -13,6 +13,7 @@ import (
 	"specrepair/internal/analyzer"
 	"specrepair/internal/llm"
 	"specrepair/internal/repair"
+	"specrepair/internal/telemetry"
 )
 
 // Setting is one of the five prompt configurations of the study.
@@ -54,21 +55,26 @@ type Options struct {
 	Client  llm.Client
 	// Analyzer overrides the default analyzer (mainly for tests).
 	Analyzer *analyzer.Analyzer
+	// Telemetry records live candidate counts. Nil disables instrumentation.
+	Telemetry *telemetry.Collector
 }
 
 // Tool is the Single-Round technique under one prompt setting.
 type Tool struct {
-	opts Options
-	an   *analyzer.Analyzer
+	opts       Options
+	an         *analyzer.Analyzer
+	candidates *telemetry.Counter
 }
 
 // New returns the technique. A Client is required.
 func New(opts Options) *Tool {
 	an := opts.Analyzer
 	if an == nil {
-		an = analyzer.New(analyzer.Options{})
+		an = analyzer.New(analyzer.Options{Telemetry: opts.Telemetry})
 	}
-	return &Tool{opts: opts, an: an}
+	t := &Tool{opts: opts, an: an}
+	t.candidates = opts.Telemetry.TechCounter(t.Name(), "candidates")
+	return t
 }
 
 var _ repair.Technique = (*Tool)(nil)
@@ -107,6 +113,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 	}
 	out.Stats.Iterations = 1
 	out.Stats.CandidatesTried = 1
+	t.candidates.Inc()
 
 	src, ok := llm.ExtractSpec(reply)
 	if !ok {

@@ -1,6 +1,10 @@
 package sat
 
-import "sort"
+import (
+	"sort"
+
+	"specrepair/internal/telemetry"
+)
 
 // SoftClause is a weighted soft clause for partial MaxSAT.
 type SoftClause struct {
@@ -21,6 +25,9 @@ type MaxSolver struct {
 	soft    []SoftClause
 	// MaxConflicts bounds each underlying SAT call; 0 means unlimited.
 	MaxConflicts int64
+	// Telemetry is handed to every underlying SAT solver, so each
+	// iteration of the linear search records its own solve.
+	Telemetry *telemetry.Collector
 }
 
 // NewMaxSolver returns an empty MaxSAT solver over numVars problem variables.
@@ -109,7 +116,7 @@ func (m *MaxSolver) Solve() Result {
 }
 
 func (m *MaxSolver) buildSolver() *Solver {
-	s := NewSolver(Options{MaxConflicts: m.MaxConflicts})
+	s := NewSolver(Options{MaxConflicts: m.MaxConflicts, Telemetry: m.Telemetry})
 	for s.NumVars() < m.numVars {
 		s.NewVar()
 	}

@@ -2,6 +2,9 @@ package sat
 
 import (
 	"sort"
+	"time"
+
+	"specrepair/internal/telemetry"
 )
 
 // Options configures a Solver. The zero value selects full CDCL with an
@@ -16,6 +19,10 @@ type Options struct {
 	// DisableVSIDS replaces activity-ordered branching with lowest-index
 	// branching. Used by the ablation benchmarks.
 	DisableVSIDS bool
+	// Telemetry, when non-nil, receives each Solve call's latency and
+	// effort (conflicts, decisions, propagations, budget exhaustion). Nil
+	// disables recording with no per-solve overhead.
+	Telemetry *telemetry.Collector
 }
 
 type clause struct {
@@ -451,8 +458,22 @@ func luby(i int64) int64 {
 }
 
 // Solve searches for a satisfying assignment consistent with the given
-// assumption literals.
+// assumption literals. With telemetry configured, each call records its
+// latency and the conflict/decision/propagation effort it spent.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	col := s.opts.Telemetry
+	if col == nil {
+		return s.solve(assumptions)
+	}
+	start := time.Now()
+	c0, d0, p0 := s.Conflicts, s.Decisions, s.Propagations
+	st := s.solve(assumptions)
+	col.RecordSolve(time.Since(start), s.Conflicts-c0, s.Decisions-d0, s.Propagations-p0,
+		st == StatusUnknown)
+	return st
+}
+
+func (s *Solver) solve(assumptions []Lit) Status {
 	if s.unsatisfiable {
 		return StatusUnsat
 	}

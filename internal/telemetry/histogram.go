@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histShards spreads Observe contention across independent bucket arrays;
+// must be a power of two. Snapshots sum over all shards.
+const histShards = 8
+
+// histBuckets is the number of log2 buckets: bucket 0 holds values <= 0,
+// bucket i (1..histBuckets-1) holds [2^(i-1), 2^i), and the last bucket
+// absorbs everything larger.
+const histBuckets = 64
+
+// Histogram is a concurrency-safe log2-bucketed histogram for non-negative
+// integer observations (durations in nanoseconds, effort counts, sizes).
+// The zero value is ready to use; a nil *Histogram ignores observations.
+type Histogram struct {
+	shards [histShards]histShard
+	// minPlus1 holds min+1 so that the zero value means "empty" even for
+	// observations of 0; max holds max+1 symmetrically.
+	minPlus1 atomic.Int64
+	maxPlus1 atomic.Int64
+}
+
+type histShard struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+	// pad keeps adjacent shards out of one another's cache lines.
+	_ [64]byte
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns the inclusive upper bound of bucket i.
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 62 {
+		return int64(1)<<62 - 1
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records v, deriving the shard from the value. Hot callers that
+// observe from a stable goroutine should prefer ObserveShard with a
+// per-goroutine hint to avoid cross-CPU contention on repeated values.
+func (h *Histogram) Observe(v int64) {
+	h.ObserveShard(uint32(uint64(v)*0x9E3779B9>>16), v)
+}
+
+// ObserveShard records v into the shard selected by hint.
+func (h *Histogram) ObserveShard(hint uint32, v int64) {
+	if h == nil {
+		return
+	}
+	sh := &h.shards[hint&(histShards-1)]
+	sh.count.Add(1)
+	sh.sum.Add(v)
+	sh.buckets[bucketOf(v)].Add(1)
+	for {
+		cur := h.minPlus1.Load()
+		if cur != 0 && cur <= v+1 {
+			break
+		}
+		if h.minPlus1.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.maxPlus1.Load()
+		if cur >= v+1 {
+			break
+		}
+		if h.maxPlus1.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+	Buckets [histBuckets]int64
+}
+
+// Snapshot sums the shards. Concurrent observations may be partially
+// included; each shard's count/sum/bucket triple is read without a lock, so
+// snapshots taken mid-run are approximations that converge once recording
+// stops.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		s.Count += sh.count.Load()
+		s.Sum += sh.sum.Load()
+		for b := range sh.buckets {
+			s.Buckets[b] += sh.buckets[b].Load()
+		}
+	}
+	if mp := h.minPlus1.Load(); mp != 0 {
+		s.Min = mp - 1
+	}
+	if xp := h.maxPlus1.Load(); xp != 0 {
+		s.Max = xp - 1
+	}
+	return s
+}
+
+// Mean is Sum/Count (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the log2 buckets: the
+// answer is the upper bound of the bucket containing the target rank,
+// clamped into [Min, Max]. The estimate is exact to within a factor of two,
+// which is what log-scale latency analysis needs.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			v := BucketBound(i)
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+	}
+	return s.Max
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import "testing"
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{255, 8},
+		{256, 9},
+		{1 << 40, 41},
+		{1<<40 - 1, 40},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBucketBoundConsistency(t *testing.T) {
+	// Every representable value must land in a bucket whose bound is >= the
+	// value and whose predecessor's bound is < the value.
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 100, 1023, 1024, 1 << 30, 1 << 55} {
+		b := bucketOf(v)
+		if BucketBound(b) < v {
+			t.Errorf("value %d in bucket %d, but bound %d < value", v, b, BucketBound(b))
+		}
+		if b > 0 && BucketBound(b-1) >= v {
+			t.Errorf("value %d in bucket %d, but previous bound %d >= value", v, b, BucketBound(b-1))
+		}
+	}
+	if BucketBound(0) != 0 {
+		t.Errorf("BucketBound(0) = %d", BucketBound(0))
+	}
+	if BucketBound(63) != int64(1)<<62-1 {
+		t.Errorf("BucketBound(63) = %d", BucketBound(63))
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Errorf("Count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1106 {
+		t.Errorf("Sum = %d, want 1106", s.Sum)
+	}
+	if s.Min != 0 || s.Max != 1000 {
+		t.Errorf("Min/Max = %d/%d, want 0/1000", s.Min, s.Max)
+	}
+	if got := s.Buckets[0]; got != 1 {
+		t.Errorf("bucket 0 = %d, want 1 (the zero)", got)
+	}
+	if got := s.Buckets[2]; got != 2 {
+		t.Errorf("bucket 2 = %d, want 2 (values 2 and 3)", got)
+	}
+	if m := s.Mean(); m < 184 || m > 185 {
+		t.Errorf("Mean = %f", m)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 100 observations of 10 and one of 1<<20: p50 must be near 10, p100
+	// must be the outlier, and every quantile must stay within [Min, Max].
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	h.Observe(1 << 20)
+	s := h.Snapshot()
+	if q := s.Quantile(0.50); q < 10 || q > 15 {
+		t.Errorf("p50 = %d, want ~10 (bucket bound 15 clamped to max)", q)
+	}
+	if q := s.Quantile(1.0); q != 1<<20 {
+		t.Errorf("p100 = %d, want %d", q, 1<<20)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < s.Min || v > s.Max {
+			t.Errorf("Quantile(%f) = %d outside [%d, %d]", q, v, s.Min, s.Max)
+		}
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(5) // must not panic
+	s := nilH.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Errorf("nil histogram snapshot not empty: %+v", s)
+	}
+	empty := (&Histogram{}).Snapshot()
+	if empty.Count != 0 || empty.Min != 0 || empty.Max != 0 {
+		t.Errorf("empty snapshot: %+v", empty)
+	}
+}

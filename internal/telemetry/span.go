@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// SpanRecord is the JSONL wire form of one finished job span. Every line of
+// a trace file is one SpanRecord encoded with encoding/json.
+type SpanRecord struct {
+	Name      string `json:"name"`
+	Technique string `json:"technique,omitempty"`
+	Spec      string `json:"spec,omitempty"`
+	// StartUnixNs is the span's wall-clock start (Unix nanoseconds).
+	StartUnixNs int64  `json:"start_unix_ns"`
+	DurationNs  int64  `json:"duration_ns"`
+	Outcome     string `json:"outcome,omitempty"`
+	REP         int    `json:"rep"`
+
+	Candidates    int `json:"candidates,omitempty"`
+	AnalyzerCalls int `json:"analyzer_calls,omitempty"`
+	TestRuns      int `json:"test_runs,omitempty"`
+	Iterations    int `json:"iterations,omitempty"`
+
+	Solves          int64 `json:"solves,omitempty"`
+	Conflicts       int64 `json:"conflicts,omitempty"`
+	Decisions       int64 `json:"decisions,omitempty"`
+	Propagations    int64 `json:"propagations,omitempty"`
+	BudgetExhausted int64 `json:"budget_exhausted,omitempty"`
+	SolveNs         int64 `json:"solve_ns,omitempty"`
+	CacheHits       int64 `json:"cache_hits,omitempty"`
+	CacheMisses     int64 `json:"cache_misses,omitempty"`
+}
+
+// span converts a JobRecord into its wire form.
+func (jr JobRecord) span() SpanRecord {
+	return SpanRecord{
+		Name:            "job",
+		Technique:       jr.Technique,
+		Spec:            jr.Spec,
+		StartUnixNs:     jr.Start.UnixNano(),
+		DurationNs:      jr.Duration.Nanoseconds(),
+		Outcome:         jr.Outcome,
+		REP:             jr.REP,
+		Candidates:      jr.Candidates,
+		AnalyzerCalls:   jr.AnalyzerCalls,
+		TestRuns:        jr.TestRuns,
+		Iterations:      jr.Iterations,
+		Solves:          jr.Effort.Solves,
+		Conflicts:       jr.Effort.Conflicts,
+		Decisions:       jr.Effort.Decisions,
+		Propagations:    jr.Effort.Propagations,
+		BudgetExhausted: jr.Effort.BudgetExhausted,
+		SolveNs:         jr.Effort.SolveNs,
+		CacheHits:       jr.Effort.CacheHits,
+		CacheMisses:     jr.Effort.CacheMisses,
+	}
+}
+
+// SpanSink receives finished spans. Implementations must be safe for
+// concurrent use — the runner's workers record from many goroutines.
+type SpanSink interface {
+	Record(SpanRecord)
+}
+
+// TraceWriter is a SpanSink writing one JSON object per line (JSONL). It
+// buffers; call Close (or Flush) before reading the output.
+type TraceWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+}
+
+// NewTraceWriter wraps w. When w is also an io.Closer, Close closes it
+// after flushing.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	bw := bufio.NewWriter(w)
+	t := &TraceWriter{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// Record implements SpanSink. Encoding errors are deliberately dropped:
+// tracing must never fail the run it observes.
+func (t *TraceWriter) Record(rec SpanRecord) {
+	t.mu.Lock()
+	_ = t.enc.Encode(rec)
+	t.mu.Unlock()
+}
+
+// Flush drains the buffer to the underlying writer.
+func (t *TraceWriter) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bw.Flush()
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (t *TraceWriter) Close() error {
+	err := t.Flush()
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestTraceRoundTrip writes spans through the registry's sink and decodes
+// the JSONL back into identical records.
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	reg := New()
+	reg.SetSink(tw)
+
+	start := time.Unix(1700000000, 123456789)
+	records := []JobRecord{
+		{
+			Technique: "BeAFix", Spec: "A4F/classroom_inv1_1",
+			Start: start, Duration: 1500 * time.Millisecond,
+			Outcome: OutcomeRepaired, REP: 1,
+			Candidates: 42, AnalyzerCalls: 45, TestRuns: 0, Iterations: 0,
+			Effort: JobEffort{
+				Solves: 90, Conflicts: 1234, Decisions: 5678, Propagations: 91011,
+				BudgetExhausted: 1, SolveNs: 900_000_000, CacheHits: 30, CacheMisses: 15,
+			},
+		},
+		{
+			Technique: "ARepair", Spec: "ARepair/addr_1",
+			Start: start.Add(2 * time.Second), Duration: 20 * time.Millisecond,
+			Outcome: OutcomeFailed, REP: 0,
+			TestRuns: 7, Iterations: 3,
+		},
+		{
+			Technique: "ATR", Spec: "A4F/graphs_1",
+			Start: start.Add(3 * time.Second), Duration: time.Millisecond,
+			Outcome: OutcomeError,
+		},
+	}
+	for _, jr := range records {
+		reg.RecordJob(jr)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []SpanRecord
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var sr SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &sr); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		got = append(got, sr)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("decoded %d spans, want %d", len(got), len(records))
+	}
+	for i, jr := range records {
+		want := jr.span()
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("span %d round-trip mismatch:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+
+	// Spot-check the wire format itself, so the JSONL contract (not just the
+	// Go round trip) is pinned down.
+	first := got[0]
+	if first.Name != "job" {
+		t.Errorf("span name = %q", first.Name)
+	}
+	if first.StartUnixNs != start.UnixNano() {
+		t.Errorf("start_unix_ns = %d, want %d", first.StartUnixNs, start.UnixNano())
+	}
+	if first.DurationNs != (1500 * time.Millisecond).Nanoseconds() {
+		t.Errorf("duration_ns = %d", first.DurationNs)
+	}
+	line := buf.Bytes()[:bytes.IndexByte(buf.Bytes(), '\n')]
+	for _, key := range []string{`"name":"job"`, `"technique":"BeAFix"`, `"outcome":"repaired"`, `"conflicts":1234`} {
+		if !bytes.Contains(line, []byte(key)) {
+			t.Errorf("first line missing %s: %s", key, line)
+		}
+	}
+}
+
+// TestTraceWriterConcurrent ensures interleaved Record calls still produce
+// one valid JSON object per line.
+func TestTraceWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				tw.Record(SpanRecord{Name: "job", Technique: "T", REP: w})
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var sr SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &sr); err != nil {
+			t.Fatalf("corrupt line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 800 {
+		t.Errorf("lines = %d, want 800", lines)
+	}
+}
