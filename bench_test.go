@@ -195,6 +195,17 @@ func BenchmarkAblationSAT(b *testing.B) {
 			}
 		}
 	})
+	b.Run("cdcl-noreduce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sat.NewSolver(sat.Options{DisableReduce: true})
+			for _, cl := range large {
+				s.AddClause(cl...)
+			}
+			if s.Solve() != sat.StatusUnsat {
+				b.Fatal("expected UNSAT")
+			}
+		}
+	})
 	b.Run("no-learning", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			s := sat.NewSolver(sat.Options{DisableLearning: true})

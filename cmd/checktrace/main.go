@@ -36,6 +36,7 @@ func run(args []string) error {
 
 	var spans, badDur int64
 	var total int64 // summed duration, ns
+	var incQueries, incFallbacks, incCarried int64
 	techniques := map[string]int64{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -54,6 +55,12 @@ func run(args []string) error {
 		if sr.DurationNs <= 0 {
 			badDur++
 		}
+		if sr.IncQueries < 0 || sr.IncFallbacks < 0 || sr.IncCarriedLearnts < 0 {
+			return fmt.Errorf("line %d: span has negative incremental counters: %s", spans+1, line)
+		}
+		incQueries += sr.IncQueries
+		incFallbacks += sr.IncFallbacks
+		incCarried += sr.IncCarriedLearnts
 		techniques[sr.Technique]++
 		total += sr.DurationNs
 		spans++
@@ -67,7 +74,7 @@ func run(args []string) error {
 	if badDur > 0 {
 		return fmt.Errorf("%d of %d spans have non-positive durations", badDur, spans)
 	}
-	fmt.Printf("%s: %d spans, %d techniques, %.3fs total attributed time\n",
-		args[0], spans, len(techniques), float64(total)/1e9)
+	fmt.Printf("%s: %d spans, %d techniques, %.3fs total attributed time, %d incremental queries (%d fallbacks, %d learnts carried)\n",
+		args[0], spans, len(techniques), float64(total)/1e9, incQueries, incFallbacks, incCarried)
 	return nil
 }

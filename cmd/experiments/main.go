@@ -42,6 +42,7 @@ func run(args []string) error {
 	fig4 := fs.Bool("fig4", false, "render Figure 4 (Venn regions)")
 	all := fs.Bool("all", false, "render everything")
 	nocache := fs.Bool("nocache", false, "disable the shared analysis cache (A/B baseline)")
+	noincremental := fs.Bool("noincremental", false, "disable incremental candidate evaluation (A/B baseline; identical outputs)")
 	cacheSize := fs.Int("cache-size", 0, "analysis cache capacity in entries (0 = default)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -96,12 +97,13 @@ func run(args []string) error {
 
 	start := time.Now()
 	study, err := experiments.RunStudy(experiments.Config{
-		Seed:          *seed,
-		Scale:         *scale,
-		Workers:       *workers,
-		CacheCapacity: *cacheSize,
-		DisableCache:  *nocache,
-		Telemetry:     reg,
+		Seed:               *seed,
+		Scale:              *scale,
+		Workers:            *workers,
+		CacheCapacity:      *cacheSize,
+		DisableCache:       *nocache,
+		DisableIncremental: *noincremental,
+		Telemetry:          reg,
 		Progress: func(msg string) {
 			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), msg)
 		},

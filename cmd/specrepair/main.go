@@ -44,6 +44,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "seed for the simulated LLM")
 	list := fs.Bool("list", false, "list available techniques")
 	nocache := fs.Bool("nocache", false, "disable the shared analysis cache")
+	noincremental := fs.Bool("noincremental", false, "disable incremental candidate evaluation (identical outputs, per-candidate fresh solving)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	trace := fs.String("trace", "", "write a JSONL span trace (one line per technique leg) to this file")
@@ -143,7 +144,10 @@ func run(args []string) error {
 	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		factory, err := core.CachedFactoryByName(*seed, name, cache)
+		factory, err := core.FactoryByNameWith(*seed, name, core.FactoryOptions{
+			Cache:              cache,
+			DisableIncremental: *noincremental,
+		})
 		if err != nil {
 			return err
 		}

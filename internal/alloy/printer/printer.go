@@ -60,6 +60,11 @@ func Module(m *ast.Module) string {
 	return b.String()
 }
 
+// Sig renders a single signature declaration in canonical form. The
+// incremental analyzer fingerprints modules on this rendering to detect
+// bounds-affecting differences between repair candidates.
+func Sig(s *ast.Sig) string { return sig(s) }
+
 func sig(s *ast.Sig) string {
 	var b strings.Builder
 	if s.Abstract {

@@ -39,6 +39,11 @@ type Options struct {
 	// effort. Telemetry never affects results or cache keys; nil disables
 	// recording with no overhead.
 	Telemetry *telemetry.Collector
+	// DisableIncremental makes Evaluator answer every candidate on the
+	// fresh per-candidate path instead of a long-lived incremental SAT
+	// session — the A/B baseline for the incremental evaluation layer.
+	// Verdicts are identical either way.
+	DisableIncremental bool
 }
 
 // DefaultMaxConflicts bounds SAT search per command so that pathological

@@ -62,6 +62,18 @@ const (
 	atrMaxCandidates    = 150
 )
 
+// FactoryOptions configures how the study factories build their analyzers.
+type FactoryOptions struct {
+	// Cache is the analysis cache shared by every technique's analyzer
+	// (nil for private uncached analyzers).
+	Cache *anacache.Cache
+	// DisableIncremental makes every technique validate candidates on the
+	// fresh per-candidate analyzer path instead of the long-lived
+	// incremental evaluation session. Verdicts — and therefore study
+	// results — are identical either way; this is the A/B baseline.
+	DisableIncremental bool
+}
+
 // StudyFactories returns the twelve techniques with the study's
 // configurations, each with a private uncached analyzer. The seed drives
 // the simulated LLM.
@@ -76,8 +88,19 @@ func StudyFactories(seed int64) []Factory {
 // re-check near-identical intermediate specs — is solved once instead of
 // once per technique per worker.
 func CachedStudyFactories(seed int64, cache *anacache.Cache) []Factory {
+	return StudyFactoriesWith(seed, FactoryOptions{Cache: cache})
+}
+
+// StudyFactoriesWith returns the twelve techniques under full factory
+// configuration.
+func StudyFactoriesWith(seed int64, o FactoryOptions) []Factory {
+	cache := o.Cache
 	newAnalyzer := func(col *telemetry.Collector) *analyzer.Analyzer {
-		return analyzer.New(analyzer.Options{Cache: cache, Telemetry: col})
+		return analyzer.New(analyzer.Options{
+			Cache:              cache,
+			Telemetry:          col,
+			DisableIncremental: o.DisableIncremental,
+		})
 	}
 	fs := []Factory{
 		{Name: "ARepair", NewWith: func(col *telemetry.Collector) repair.Technique {
@@ -147,7 +170,12 @@ func FactoryByName(seed int64, name string) (Factory, error) {
 // CachedFactoryByName finds a study factory whose technique shares the
 // given analysis cache.
 func CachedFactoryByName(seed int64, name string, cache *anacache.Cache) (Factory, error) {
-	for _, f := range CachedStudyFactories(seed, cache) {
+	return FactoryByNameWith(seed, name, FactoryOptions{Cache: cache})
+}
+
+// FactoryByNameWith finds a study factory under full factory configuration.
+func FactoryByNameWith(seed int64, name string, o FactoryOptions) (Factory, error) {
+	for _, f := range StudyFactoriesWith(seed, o) {
 		if f.Name == name {
 			return f, nil
 		}

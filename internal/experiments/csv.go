@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"specrepair/internal/core"
+	"specrepair/internal/telemetry"
 )
 
 // WriteCSV exports the study's data as machine-readable CSV files into dir:
@@ -19,11 +20,12 @@ import (
 //	techstats.csv  per-technique self-reported effort sums
 //	phases.csv     wall-clock breakdown of the run's phases
 //
-// When the study ran with telemetry, two more files carry the measured
+// When the study ran with telemetry, three more files carry the measured
 // performance profile:
 //
-//	telemetry_techniques.csv  job-duration quantiles and effort per technique
-//	telemetry_specs.csv       per-spec total duration and solver conflicts
+//	telemetry_techniques.csv   job-duration quantiles and effort per technique
+//	telemetry_specs.csv        per-spec total duration and solver conflicts
+//	telemetry_incremental.csv  incremental-evaluation session/query/fallback totals
 //
 // The files carry exactly the data behind the rendered tables and figures,
 // for external plotting.
@@ -174,5 +176,23 @@ func (s *Study) WriteCSV(dir string) error {
 			strconv.FormatInt(ss.Conflicts, 10),
 			strconv.FormatInt(ss.Solves, 10)})
 	}
-	return write("telemetry_specs.csv", rows)
+	if err := write("telemetry_specs.csv", rows); err != nil {
+		return err
+	}
+
+	// telemetry_incremental.csv
+	rows = [][]string{{"metric", "value"}}
+	for _, m := range []struct {
+		name    string
+		counter string
+	}{
+		{"sessions", telemetry.CtrIncSessions},
+		{"queries", telemetry.CtrIncQueries},
+		{"fallbacks", telemetry.CtrIncFallbacks},
+		{"carried_learnts", telemetry.CtrIncCarried},
+	} {
+		rows = append(rows, []string{m.name,
+			strconv.FormatInt(s.Telemetry.CounterValue(m.counter), 10)})
+	}
+	return write("telemetry_incremental.csv", rows)
 }

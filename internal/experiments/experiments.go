@@ -69,6 +69,11 @@ type Config struct {
 	// DisableCache runs the study without the shared analysis cache — the
 	// A/B baseline where every analyzer query is solved from scratch.
 	DisableCache bool
+	// DisableIncremental runs every technique's candidate validation on the
+	// fresh per-candidate analyzer path instead of the long-lived
+	// incremental evaluation session — the A/B baseline for the incremental
+	// layer. Study outputs are identical either way.
+	DisableIncremental bool
 	// Telemetry, when non-nil, instruments the whole run: generation,
 	// both evaluations, and the shared cache (exposed as gauges).
 	Telemetry *telemetry.Registry
@@ -120,7 +125,10 @@ func RunStudy(cfg Config) (*Study, error) {
 		return nil, fmt.Errorf("generating benchmarks: %w", err)
 	}
 	study.AddPhase("generate", time.Since(phaseStart))
-	factories := core.CachedStudyFactories(cfg.Seed, cache)
+	factories := core.StudyFactoriesWith(cfg.Seed, core.FactoryOptions{
+		Cache:              cache,
+		DisableIncremental: cfg.DisableIncremental,
+	})
 	runner := &core.Runner{Workers: cfg.Workers, Seed: cfg.Seed, Cache: cache, Telemetry: reg}
 	if progress != nil {
 		runner.Progress = func(tech, spec string, done, total int, cs anacache.Stats, tel telemetry.Brief) {

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// stripCacheStats drops the analysis-cache hit/miss line from a summary:
+// the incremental evaluator answers verdicts without writing run records,
+// so cache traffic legitimately differs between the A/B arms while every
+// paper artifact stays identical.
+func stripCacheStats(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "analysis cache:") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestIncrementalStudyOutputsUnchanged is the end-to-end A/B guard for the
+// incremental candidate-evaluation layer: a study run with the long-lived
+// incremental sessions and a run with -noincremental (fresh per-candidate
+// solving everywhere) must produce byte-identical paper artifacts. The
+// incremental layer is a pure performance optimization; any divergence here
+// is a soundness bug, not noise.
+func TestIncrementalStudyOutputsUnchanged(t *testing.T) {
+	run := func(disable bool) *Study {
+		t.Helper()
+		s, err := RunStudy(Config{Seed: 7, Scale: 300, DisableIncremental: disable})
+		if err != nil {
+			t.Fatalf("RunStudy(DisableIncremental=%v): %v", disable, err)
+		}
+		return s
+	}
+	inc := run(false)
+	fresh := run(true)
+
+	for _, cmp := range []struct {
+		name      string
+		inc, base string
+	}{
+		{"TableI", inc.TableI(), fresh.TableI()},
+		{"Figure2", inc.RenderFigure2(), fresh.RenderFigure2()},
+		{"Figure3", inc.RenderFigure3(), fresh.RenderFigure3()},
+		{"TableII", inc.RenderTableII(), fresh.RenderTableII()},
+		{"Figure4", inc.RenderFigure4(), fresh.RenderFigure4()},
+		{"Summary", stripCacheStats(inc.Summary()), stripCacheStats(fresh.Summary())},
+	} {
+		if cmp.inc != cmp.base {
+			t.Errorf("%s differs between incremental and -noincremental runs:\n--- incremental ---\n%s\n--- fresh ---\n%s",
+				cmp.name, cmp.inc, cmp.base)
+		}
+	}
+}

@@ -46,6 +46,18 @@ func (s *Study) TelemetryReport() string {
 		fmt.Fprintf(&b, "  cache-miss latency: p50 %-10s p95 %-10s max %s\n",
 			fmtNs(missNs.Quantile(0.50)), fmtNs(missNs.Quantile(0.95)), fmtNs(missNs.Max))
 	}
+	if sessions := reg.CounterValue(telemetry.CtrIncSessions); sessions > 0 {
+		queries := reg.CounterValue(telemetry.CtrIncQueries)
+		fallbacks := reg.CounterValue(telemetry.CtrIncFallbacks)
+		carried := reg.CounterValue(telemetry.CtrIncCarried)
+		fmt.Fprintf(&b, "  incremental evaluation: %d sessions, %d queries, %d fallbacks",
+			sessions, queries, fallbacks)
+		if queries > 0 {
+			fmt.Fprintf(&b, ", %.1f learnt clauses carried per query",
+				float64(carried)/float64(queries))
+		}
+		b.WriteString("\n")
+	}
 
 	// Techniques ranked by p95 job duration, heaviest first.
 	techs := reg.Techniques()

@@ -140,6 +140,11 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 	}
 	sites = append(sites, rest...)
 
+	// One incremental evaluation session spans the whole candidate stream
+	// (templates never touch signature paragraphs, so the shared bounds and
+	// learned clauses apply to every candidate).
+	oracle := t.an.Evaluator(p.Faulty)
+
 	seen := map[string]bool{printer.Module(p.Faulty): true}
 	for _, s := range sites {
 		cands := eng.Candidates(s, t.opts.Budget)
@@ -164,7 +169,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 			}
 			out.Stats.CandidatesTried++
 			t.candidates.Inc()
-			pass, err := repair.OracleAllCommandsPass(t.an, candMod)
+			pass, err := oracle.PassesAll(candMod)
 			out.Stats.AnalyzerCalls++
 			if err != nil {
 				continue
@@ -194,7 +199,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 			}
 			out.Stats.CandidatesTried++
 			t.candidates.Inc()
-			pass, err := repair.OracleAllCommandsPass(t.an, candMod)
+			pass, err := oracle.PassesAll(candMod)
 			out.Stats.AnalyzerCalls++
 			if err != nil {
 				continue
@@ -297,7 +302,14 @@ func (t *Tool) nearestSatisfying(low *ast.Module, info *types.Info, cmd *ast.Com
 // addSoft adds one unit soft clause per relation variable, preferring the
 // counterexample's value.
 func addSoft(ms *sat.MaxSolver, tr *translate.Translator, b *bounds.Bounds, cex *instance.Instance) {
-	for name, rb := range b.Rels {
+	// Deterministic relation order: soft-clause insertion order is MaxSAT
+	// tie-breaking order, and study outputs must not vary run to run.
+	names := make([]string, 0, len(b.Rels))
+	for name := range b.Rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		cexTS, ok := cex.Rels[name]
 		if !ok {
 			continue
@@ -318,7 +330,6 @@ func addSoft(ms *sat.MaxSolver, tr *translate.Translator, b *bounds.Bounds, cex 
 				ms.AddSoft(1, sat.NegLit(v))
 			}
 		}
-		_ = rb
 	}
 }
 

@@ -132,6 +132,11 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 		return out, err
 	}
 
+	// One incremental evaluation session spans the whole candidate stream:
+	// every mutant shares the base's signatures, so bounds, relation
+	// variables, and learned clauses carry over between validations.
+	oracle := t.an.Evaluator(p.Faulty)
+
 	// Breadth-first over mutation depth: each frontier entry is a module.
 	frontier := []*ast.Module{p.Faulty.Clone()}
 	seen := map[string]bool{printer.Module(p.Faulty): true}
@@ -170,7 +175,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 					}
 					out.Stats.CandidatesTried++
 					t.candidates.Inc()
-					pass, err := repair.OracleAllCommandsPass(t.an, cand)
+					pass, err := oracle.PassesAll(cand)
 					out.Stats.AnalyzerCalls++
 					if err != nil {
 						continue
@@ -201,7 +206,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 					seen[key] = true
 					out.Stats.CandidatesTried++
 					t.candidates.Inc()
-					pass, err := repair.OracleAllCommandsPass(t.an, cand)
+					pass, err := oracle.PassesAll(cand)
 					out.Stats.AnalyzerCalls++
 					if err != nil {
 						continue

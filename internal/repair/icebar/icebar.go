@@ -115,6 +115,13 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 		return out, nil
 	}
 
+	// One incremental evaluation session validates every iteration's ARepair
+	// candidate: candidates differ from the faulty spec only in repaired
+	// formula paragraphs, so translation and learned clauses carry over.
+	// Suite refinement (refineSuite) stays on the fresh path — it needs the
+	// concrete instances the fresh analyzer would produce.
+	oracle := t.an.Evaluator(p.Faulty)
+
 	current := p.Faulty
 	for iter := 0; iter < t.opts.MaxIterations; iter++ {
 		out.Stats.Iterations++
@@ -135,7 +142,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 		}
 
 		// Validate against the property oracle.
-		pass, err := repair.OracleAllCommandsPass(t.an, cand)
+		pass, err := oracle.PassesAll(cand)
 		out.Stats.AnalyzerCalls++
 		if err != nil {
 			return out, err

@@ -75,6 +75,12 @@ type Technique interface {
 // OracleAllCommandsPass reports whether every command of the module meets
 // its expectation — the property-based repair oracle shared by ICEBAR,
 // BeAFix, and ATR. It stops at the first failing command.
+//
+// Candidate-enumeration loops should not call this per candidate: they use
+// analyzer.Evaluator, which answers the same question over one long-lived
+// incremental SAT session shared by the whole candidate stream. ARepair has
+// no analyzer oracle at all — its oracle is the AUnit test suite — and
+// participates in incremental evaluation only through ICEBAR's wrapper.
 func OracleAllCommandsPass(a *analyzer.Analyzer, mod *ast.Module) (bool, error) {
 	return a.PassesAll(mod)
 }

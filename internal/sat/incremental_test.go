@@ -111,3 +111,220 @@ func TestGateLiteralPattern(t *testing.T) {
 	}
 	_ = c
 }
+
+// litNone marks "no gate" for addPigeonhole (every valid Lit is >= 0).
+const litNone = Lit(-1)
+
+// addPigeonhole adds the pigeonhole principle PHP(pigeons, holes) — every
+// pigeon in some hole, no hole shared — guarded by gate when gate != litNone
+// (every clause gets ¬gate prepended, so the instance is active only under
+// the gate assumption). Returns the clause set it added.
+func addPigeonhole(s interface{ AddClause(...Lit) bool }, newVar func() int, pigeons, holes int, gate Lit) [][]Lit {
+	p := make([][]int, pigeons)
+	for i := range p {
+		p[i] = make([]int, holes)
+		for j := range p[i] {
+			p[i][j] = newVar()
+		}
+	}
+	guard := func(cl []Lit) []Lit {
+		if gate != litNone {
+			return append([]Lit{gate.Not()}, cl...)
+		}
+		return cl
+	}
+	var out [][]Lit
+	for i := 0; i < pigeons; i++ {
+		cl := make([]Lit, 0, holes)
+		for j := 0; j < holes; j++ {
+			cl = append(cl, PosLit(p[i][j]))
+		}
+		cl = guard(cl)
+		out = append(out, cl)
+		s.AddClause(cl...)
+	}
+	for j := 0; j < holes; j++ {
+		for i := 0; i < pigeons; i++ {
+			for k := i + 1; k < pigeons; k++ {
+				cl := guard([]Lit{NegLit(p[i][j]), NegLit(p[k][j])})
+				out = append(out, cl)
+				s.AddClause(cl...)
+			}
+		}
+	}
+	return out
+}
+
+// TestActivationLiteralCandidates drives the exact pattern the analyzer's
+// incremental evaluator uses on a long-lived solver: a permanent base CNF,
+// then a stream of candidates, each a fresh gate variable g guarding a clause
+// group ([¬g, cl...] per clause), queried via Solve(g, extra assumptions...)
+// and sometimes retired permanently with a unit ¬g. Every query is checked
+// against a fresh naive solver over the identical clause set.
+func TestActivationLiteralCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for iter := 0; iter < 40; iter++ {
+		numBase := 6 + rng.Intn(6)
+		inc := NewSolver(Options{})
+		for v := 0; v < numBase; v++ {
+			inc.NewVar()
+		}
+		var clauses [][]Lit // everything ever added, including guards/units
+		for _, cl := range randomCNF(rng, numBase, 3+rng.Intn(5), 1+rng.Intn(3)) {
+			clauses = append(clauses, cl)
+			inc.AddClause(cl...)
+		}
+
+		type candidate struct{ gate Lit }
+		var live []candidate
+
+		for step := 0; step < 15; step++ {
+			// Add a new guarded candidate group.
+			g := PosLit(inc.NewVar())
+			group := randomCNF(rng, numBase, 1+rng.Intn(3), 1+rng.Intn(3))
+			for _, cl := range group {
+				guarded := append([]Lit{g.Not()}, cl...)
+				clauses = append(clauses, guarded)
+				inc.AddClause(guarded...)
+			}
+			live = append(live, candidate{gate: g})
+
+			// Query a random live candidate, optionally with extra
+			// assumptions over the base variables.
+			pick := live[rng.Intn(len(live))]
+			assumptions := []Lit{pick.gate}
+			if rng.Intn(2) == 0 {
+				assumptions = append(assumptions, MkLit(rng.Intn(numBase), rng.Intn(2) == 0))
+			}
+
+			got := inc.Solve(assumptions...)
+
+			ref := NewNaive()
+			for v := 0; v < inc.NumVars(); v++ {
+				ref.NewVar()
+			}
+			for _, cl := range clauses {
+				ref.AddClause(cl...)
+			}
+			want, _ := ref.Solve(assumptions...)
+			if got != want {
+				t.Fatalf("iter %d step %d: incremental=%v naive=%v (%d clauses, assumptions %v)",
+					iter, step, got, want, len(clauses), assumptions)
+			}
+			if got == StatusSat {
+				checkModel(t, clauses, inc.Model())
+				for _, a := range assumptions {
+					if (inc.Model()[a.Var()] == True) == a.IsNeg() {
+						t.Fatalf("iter %d step %d: model violates assumption %v", iter, step, a)
+					}
+				}
+			}
+
+			// Occasionally retire a candidate for good: assert ¬g as a unit,
+			// which permanently deactivates its group. When the whole clause
+			// set is already root-unsat, AddClause reports false; the naive
+			// reference must agree, and the iteration is finished.
+			if len(live) > 1 && rng.Intn(3) == 0 {
+				idx := rng.Intn(len(live))
+				retire := live[idx].gate.Not()
+				clauses = append(clauses, []Lit{retire})
+				if !inc.AddClause(retire) {
+					ref := NewNaive()
+					for v := 0; v < inc.NumVars(); v++ {
+						ref.NewVar()
+					}
+					for _, cl := range clauses {
+						ref.AddClause(cl...)
+					}
+					if want, _ := ref.Solve(); want != StatusUnsat {
+						t.Fatalf("iter %d step %d: incremental root-unsat but naive=%v", iter, step, want)
+					}
+					break
+				}
+				live = append(live[:idx], live[idx+1:]...)
+			}
+		}
+	}
+}
+
+// TestReduceDBDifferential forces clause-database reduction on a long-lived
+// solver and checks the verdict still matches a reduction-free solver and a
+// naive reference. The pigeonhole instance guarantees enough conflicts to
+// trigger restarts (and with the white-box maxLearnts preset, reductions),
+// so the Removed > 0 assertion is deterministic.
+func TestReduceDBDifferential(t *testing.T) {
+	reduced := NewSolver(Options{})
+	reduced.maxLearnts = 20 // white-box: force reduction at the first restarts
+	clauses := addPigeonhole(reduced, reduced.NewVar, 8, 7, litNone)
+
+	noReduce := NewSolver(Options{DisableReduce: true})
+	for v := 0; v < reduced.NumVars(); v++ {
+		noReduce.NewVar()
+	}
+	for _, cl := range clauses {
+		noReduce.AddClause(cl...)
+	}
+
+	got := reduced.Solve()
+	want := noReduce.Solve()
+	if got != want || got != StatusUnsat {
+		t.Fatalf("reduced=%v noReduce=%v, want both UNSAT", got, want)
+	}
+	if reduced.Removed == 0 {
+		t.Error("expected reduceDB to delete learnt clauses on the pigeonhole instance")
+	}
+	if noReduce.Removed != 0 {
+		t.Errorf("DisableReduce solver removed %d clauses, want 0", noReduce.Removed)
+	}
+
+	// The reduced solver must stay correct for later incremental queries.
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 10; step++ {
+		extra := randomCNF(rng, reduced.NumVars(), 2, 2+rng.Intn(2))
+		for _, cl := range extra {
+			clauses = append(clauses, cl)
+			reduced.AddClause(cl...)
+		}
+		var assumptions []Lit
+		if rng.Intn(2) == 0 {
+			assumptions = append(assumptions, MkLit(rng.Intn(reduced.NumVars()), rng.Intn(2) == 0))
+		}
+		got := reduced.Solve(assumptions...)
+		ref := NewNaive()
+		for v := 0; v < reduced.NumVars(); v++ {
+			ref.NewVar()
+		}
+		for _, cl := range clauses {
+			ref.AddClause(cl...)
+		}
+		want, _ := ref.Solve(assumptions...)
+		if got != want {
+			t.Fatalf("step %d after reduction: incremental=%v naive=%v", step, got, want)
+		}
+	}
+}
+
+// TestPerCallConflictBudget pins the budget semantics a long-lived solver
+// needs: MaxConflicts bounds each Solve call, not the solver's lifetime. A
+// hard query may exhaust its budget (Unknown), but the next easy query on the
+// same solver must still be answered. The old cumulative check wedged the
+// solver into returning Unknown forever once the total was spent.
+func TestPerCallConflictBudget(t *testing.T) {
+	s := NewSolver(Options{MaxConflicts: 5})
+	g := PosLit(s.NewVar())
+	addPigeonhole(s, s.NewVar, 9, 8, g)
+
+	if st := s.Solve(g); st != StatusUnknown {
+		t.Fatalf("hard query under 5-conflict budget = %v, want Unknown", st)
+	}
+	// With the gate off, every pigeonhole clause is satisfied by ¬g alone;
+	// the query is trivial and must not inherit the spent budget.
+	if st := s.Solve(g.Not()); st != StatusSat {
+		t.Fatalf("easy query after budget exhaustion = %v, want SAT", st)
+	}
+	// And a fresh hard query gets a fresh budget (Unknown again, not a hang
+	// and not a bogus verdict).
+	if st := s.Solve(g); st != StatusUnknown {
+		t.Fatalf("second hard query = %v, want Unknown", st)
+	}
+}

@@ -19,6 +19,10 @@ type Options struct {
 	// DisableVSIDS replaces activity-ordered branching with lowest-index
 	// branching. Used by the ablation benchmarks.
 	DisableVSIDS bool
+	// DisableReduce keeps every learnt clause forever instead of running
+	// LBD-scored clause-database reduction. Used by the ablation benchmarks
+	// and as a safety valve for long-lived incremental solvers.
+	DisableReduce bool
 	// Telemetry, when non-nil, receives each Solve call's latency and
 	// effort (conflicts, decisions, propagations, budget exhaustion). Nil
 	// disables recording with no per-solve overhead.
@@ -29,6 +33,11 @@ type clause struct {
 	lits   []Lit
 	learnt bool
 	act    float64
+	// lbd is the literal block distance (glue) computed when the clause was
+	// learnt: the number of distinct decision levels among its literals.
+	// Low-LBD clauses connect few levels and prune disproportionately, so
+	// reduceDB keeps them.
+	lbd int
 }
 
 type watcher struct {
@@ -66,11 +75,27 @@ type Solver struct {
 	Decisions    int64
 	Propagations int64
 	Learned      int64
+	// Removed counts learnt clauses deleted by reduceDB; Learned-Removed
+	// (minus learnt units) is the live learnt-database size.
+	Removed int64
+
+	// learntCount tracks attached learnt clauses; maxLearnts is the budget
+	// that triggers reduceDB (0 until initialized on first check).
+	learntCount int
+	maxLearnts  int
+	// conflictLimit is the Conflicts value at which the current Solve call
+	// gives up (0 = unlimited). It is per-call: on a long-lived incremental
+	// solver the cumulative Conflicts counter exceeds any fixed budget
+	// eventually, so comparing against MaxConflicts directly would wedge
+	// every later call at StatusUnknown.
+	conflictLimit int64
 
 	seen     []bool
 	anaStack []Lit
 	anaToClr []Lit
 	model    []Tribool
+	lbdStamp []int
+	lbdGen   int
 }
 
 // NewSolver returns a solver with the given options.
@@ -150,6 +175,10 @@ func (s *Solver) NumClauses() int {
 	}
 	return n
 }
+
+// NumLearnts returns the number of learnt clauses currently attached — the
+// knowledge an incremental session carries from one Solve to the next.
+func (s *Solver) NumLearnts() int { return s.learntCount }
 
 func (s *Solver) value(l Lit) Tribool {
 	v := s.assigns[l.Var()]
@@ -479,8 +508,15 @@ func (s *Solver) solve(assumptions []Lit) Status {
 	}
 	defer s.cancelUntil(0)
 
+	// The conflict budget is per Solve call, not per solver lifetime: an
+	// incremental solver answers thousands of queries, each of which gets
+	// the full budget.
+	s.conflictLimit = 0
+	if s.opts.MaxConflicts > 0 {
+		s.conflictLimit = s.Conflicts + s.opts.MaxConflicts
+	}
+
 	var restartNum int64
-	conflictsAtStart := s.Conflicts
 	for {
 		restartNum++
 		budget := luby(restartNum) * 100
@@ -489,18 +525,122 @@ func (s *Solver) solve(assumptions []Lit) Status {
 			// search could cycle forever; run restart-free instead.
 			budget = 0
 		}
+		s.maybeReduce()
 		st := s.search(assumptions, budget)
 		if st != StatusUnknown {
 			return st
 		}
-		if s.opts.MaxConflicts > 0 && s.Conflicts-conflictsAtStart >= s.opts.MaxConflicts {
+		if s.conflictLimit > 0 && s.Conflicts >= s.conflictLimit {
 			return StatusUnknown
 		}
 	}
 }
 
+// maybeReduce runs learnt-clause database reduction when the learnt count
+// exceeds the current budget; the budget then grows geometrically so
+// reductions stay rare relative to search.
+func (s *Solver) maybeReduce() {
+	if s.opts.DisableReduce || s.opts.DisableLearning {
+		return
+	}
+	if s.maxLearnts == 0 {
+		s.maxLearnts = (len(s.clauses) - s.learntCount) / 3
+		if s.maxLearnts < 4000 {
+			s.maxLearnts = 4000
+		}
+	}
+	if s.learntCount <= s.maxLearnts {
+		return
+	}
+	s.reduceDB()
+	s.maxLearnts += s.maxLearnts / 10
+}
+
+// reduceDB removes roughly the worst half of removable learnt clauses,
+// ranked by (high LBD first, low activity first). Protected and kept:
+// locked clauses (currently the reason of an assignment), glue clauses
+// (LBD <= 2), and binary clauses. Clause ids are compacted, so reasons are
+// remapped and the watch lists rebuilt.
+func (s *Solver) reduceDB() {
+	locked := make([]bool, len(s.clauses))
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r >= 0 {
+			locked[r] = true
+		}
+	}
+	var cands []int
+	for id, c := range s.clauses {
+		if c.learnt && !locked[id] && len(c.lits) > 2 && c.lbd > 2 {
+			cands = append(cands, id)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := s.clauses[cands[i]], s.clauses[cands[j]]
+		if a.lbd != b.lbd {
+			return a.lbd > b.lbd
+		}
+		return a.act < b.act
+	})
+	if len(cands) == 0 {
+		return
+	}
+	remove := make([]bool, len(s.clauses))
+	for _, id := range cands[:len(cands)/2] {
+		remove[id] = true
+	}
+
+	remap := make([]int, len(s.clauses))
+	kept := s.clauses[:0]
+	for id, c := range s.clauses {
+		if remove[id] {
+			remap[id] = -1
+			s.learntCount--
+			s.Removed++
+			continue
+		}
+		remap[id] = len(kept)
+		kept = append(kept, c)
+	}
+	s.clauses = kept
+	for v := range s.reason {
+		if r := s.reason[v]; r >= 0 {
+			s.reason[v] = remap[r]
+		}
+	}
+	// Rebuild the watch lists; propagate keeps the watched literals at
+	// lits[0] and lits[1], so re-watching those preserves the invariants.
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for id, c := range s.clauses {
+		s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{id, c.lits[1]})
+		s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{id, c.lits[0]})
+	}
+}
+
+// computeLBD counts the distinct non-root decision levels among lits. Called
+// at learn time, before backjumping, while every literal still has its level.
+func (s *Solver) computeLBD(lits []Lit) int {
+	s.lbdGen++
+	if need := s.decisionLevel() + 1; len(s.lbdStamp) < need {
+		s.lbdStamp = append(s.lbdStamp, make([]int, need-len(s.lbdStamp))...)
+	}
+	n := 0
+	for _, l := range lits {
+		lv := s.level[l.Var()]
+		if lv == 0 {
+			continue
+		}
+		if s.lbdStamp[lv] != s.lbdGen {
+			s.lbdStamp[lv] = s.lbdGen
+			n++
+		}
+	}
+	return n
+}
+
 // search runs CDCL until a verdict, a restart (conflict budget reached), or
-// the global conflict limit.
+// this call's conflict limit.
 func (s *Solver) search(assumptions []Lit, budget int64) Status {
 	var conflictsHere int64
 	for {
@@ -529,16 +669,21 @@ func (s *Solver) search(assumptions []Lit, budget int64) Status {
 			// loop re-applies pending assumptions afterwards, returning
 			// UNSAT if one of them has become false.
 			learnt, backLevel := s.analyze(conflictID)
+			lbd := s.computeLBD(learnt)
 			s.cancelUntil(backLevel)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], -1)
 			} else {
-				id := s.attachClause(&clause{lits: learnt, learnt: true})
+				id := s.attachClause(&clause{lits: learnt, learnt: true, lbd: lbd})
 				s.Learned++
+				s.learntCount++
 				s.bumpClause(s.clauses[id])
 				s.uncheckedEnqueue(learnt[0], id)
 			}
 			s.varInc /= 0.95
+			// Clause-activity decay: bumping with a growing increment makes
+			// recently useful learnt clauses outrank stale ones in reduceDB.
+			s.clauseInc /= 0.999
 			continue
 		}
 
@@ -546,7 +691,7 @@ func (s *Solver) search(assumptions []Lit, budget int64) Status {
 			s.cancelUntil(len(assumptions))
 			return StatusUnknown
 		}
-		if s.opts.MaxConflicts > 0 && s.Conflicts >= s.opts.MaxConflicts {
+		if s.conflictLimit > 0 && s.Conflicts >= s.conflictLimit {
 			return StatusUnknown
 		}
 

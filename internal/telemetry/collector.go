@@ -16,12 +16,20 @@ type JobEffort struct {
 	SolveNs         int64
 	CacheHits       int64
 	CacheMisses     int64
+	// IncQueries counts candidate evaluations answered on a long-lived
+	// incremental session; IncFallbacks those that had to re-solve fresh;
+	// IncCarriedLearnts sums the learnt clauses already attached when each
+	// incremental solver query started.
+	IncQueries        int64
+	IncFallbacks      int64
+	IncCarriedLearnts int64
 }
 
 // jobAcc is the atomic accumulator behind JobEffort.
 type jobAcc struct {
 	solves, conflicts, decisions, propagations, budgetExhausted atomic.Int64
 	solveNs, cacheHits, cacheMisses                             atomic.Int64
+	incQueries, incFallbacks, incCarried                        atomic.Int64
 }
 
 // epCounters are the per-entry-point lookup counters of the analyzer.
@@ -51,6 +59,8 @@ type Collector struct {
 	anaHits, anaMisses *Counter
 	hitNs, missNs      *Histogram
 	eps                map[string]epCounters
+
+	incSessions, incQueries, incFallbacks, incCarried *Counter
 
 	relVars, solverVars, clauses *Histogram
 
@@ -88,6 +98,11 @@ func NewCollector(reg *Registry) *Collector {
 		hitNs:     reg.Histogram(HistHitNs),
 		missNs:    reg.Histogram(HistMissNs),
 		eps:       map[string]epCounters{},
+
+		incSessions:  reg.Counter(CtrIncSessions),
+		incQueries:   reg.Counter(CtrIncQueries),
+		incFallbacks: reg.Counter(CtrIncFallbacks),
+		incCarried:   reg.Counter(CtrIncCarried),
 
 		relVars:    reg.Histogram(HistRelVars),
 		solverVars: reg.Histogram(HistSolverVars),
@@ -196,6 +211,46 @@ func (c *Collector) RecordTranslation(relVars, solverVars, clauses int) {
 	c.clauses.ObserveShard(c.shard, int64(clauses))
 }
 
+// RecordIncrementalSession counts one long-lived candidate-evaluation
+// session opened by the analyzer.
+func (c *Collector) RecordIncrementalSession() {
+	if c == nil {
+		return
+	}
+	c.incSessions.Inc()
+}
+
+// RecordIncrementalQuery counts one candidate evaluation answered entirely
+// on a session's shared solver state.
+func (c *Collector) RecordIncrementalQuery() {
+	if c == nil {
+		return
+	}
+	c.incQueries.Inc()
+	c.job.incQueries.Add(1)
+}
+
+// RecordIncrementalFallback counts one candidate evaluation that left the
+// incremental path and re-solved fresh (bounds-affecting difference,
+// translation failure, or an exhausted budget).
+func (c *Collector) RecordIncrementalFallback() {
+	if c == nil {
+		return
+	}
+	c.incFallbacks.Inc()
+	c.job.incFallbacks.Add(1)
+}
+
+// RecordIncrementalCarryover records how many learnt clauses were already
+// attached when one incremental solver query started.
+func (c *Collector) RecordIncrementalCarryover(learnts int64) {
+	if c == nil {
+		return
+	}
+	c.incCarried.Add(learnts)
+	c.job.incCarried.Add(learnts)
+}
+
 // TechCounter returns a live counter labeled with a technique name
 // ("technique.<metric>|<technique>"), for search loops that want their
 // progress visible mid-run (candidates enumerated, rounds completed).
@@ -220,6 +275,9 @@ func (c *Collector) BeginJob() {
 	c.job.solveNs.Store(0)
 	c.job.cacheHits.Store(0)
 	c.job.cacheMisses.Store(0)
+	c.job.incQueries.Store(0)
+	c.job.incFallbacks.Store(0)
+	c.job.incCarried.Store(0)
 }
 
 // TakeJobEffort snapshots and resets the job-effort accumulator.
@@ -228,13 +286,16 @@ func (c *Collector) TakeJobEffort() JobEffort {
 		return JobEffort{}
 	}
 	return JobEffort{
-		Solves:          c.job.solves.Swap(0),
-		Conflicts:       c.job.conflicts.Swap(0),
-		Decisions:       c.job.decisions.Swap(0),
-		Propagations:    c.job.propagations.Swap(0),
-		BudgetExhausted: c.job.budgetExhausted.Swap(0),
-		SolveNs:         c.job.solveNs.Swap(0),
-		CacheHits:       c.job.cacheHits.Swap(0),
-		CacheMisses:     c.job.cacheMisses.Swap(0),
+		Solves:            c.job.solves.Swap(0),
+		Conflicts:         c.job.conflicts.Swap(0),
+		Decisions:         c.job.decisions.Swap(0),
+		Propagations:      c.job.propagations.Swap(0),
+		BudgetExhausted:   c.job.budgetExhausted.Swap(0),
+		SolveNs:           c.job.solveNs.Swap(0),
+		CacheHits:         c.job.cacheHits.Swap(0),
+		CacheMisses:       c.job.cacheMisses.Swap(0),
+		IncQueries:        c.job.incQueries.Swap(0),
+		IncFallbacks:      c.job.incFallbacks.Swap(0),
+		IncCarriedLearnts: c.job.incCarried.Swap(0),
 	}
 }

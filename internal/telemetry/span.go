@@ -32,30 +32,37 @@ type SpanRecord struct {
 	SolveNs         int64 `json:"solve_ns,omitempty"`
 	CacheHits       int64 `json:"cache_hits,omitempty"`
 	CacheMisses     int64 `json:"cache_misses,omitempty"`
+
+	IncQueries        int64 `json:"inc_queries,omitempty"`
+	IncFallbacks      int64 `json:"inc_fallbacks,omitempty"`
+	IncCarriedLearnts int64 `json:"inc_carried_learnts,omitempty"`
 }
 
 // span converts a JobRecord into its wire form.
 func (jr JobRecord) span() SpanRecord {
 	return SpanRecord{
-		Name:            "job",
-		Technique:       jr.Technique,
-		Spec:            jr.Spec,
-		StartUnixNs:     jr.Start.UnixNano(),
-		DurationNs:      jr.Duration.Nanoseconds(),
-		Outcome:         jr.Outcome,
-		REP:             jr.REP,
-		Candidates:      jr.Candidates,
-		AnalyzerCalls:   jr.AnalyzerCalls,
-		TestRuns:        jr.TestRuns,
-		Iterations:      jr.Iterations,
-		Solves:          jr.Effort.Solves,
-		Conflicts:       jr.Effort.Conflicts,
-		Decisions:       jr.Effort.Decisions,
-		Propagations:    jr.Effort.Propagations,
-		BudgetExhausted: jr.Effort.BudgetExhausted,
-		SolveNs:         jr.Effort.SolveNs,
-		CacheHits:       jr.Effort.CacheHits,
-		CacheMisses:     jr.Effort.CacheMisses,
+		Name:              "job",
+		Technique:         jr.Technique,
+		Spec:              jr.Spec,
+		StartUnixNs:       jr.Start.UnixNano(),
+		DurationNs:        jr.Duration.Nanoseconds(),
+		Outcome:           jr.Outcome,
+		REP:               jr.REP,
+		Candidates:        jr.Candidates,
+		AnalyzerCalls:     jr.AnalyzerCalls,
+		TestRuns:          jr.TestRuns,
+		Iterations:        jr.Iterations,
+		Solves:            jr.Effort.Solves,
+		Conflicts:         jr.Effort.Conflicts,
+		Decisions:         jr.Effort.Decisions,
+		Propagations:      jr.Effort.Propagations,
+		BudgetExhausted:   jr.Effort.BudgetExhausted,
+		SolveNs:           jr.Effort.SolveNs,
+		CacheHits:         jr.Effort.CacheHits,
+		CacheMisses:       jr.Effort.CacheMisses,
+		IncQueries:        jr.Effort.IncQueries,
+		IncFallbacks:      jr.Effort.IncFallbacks,
+		IncCarriedLearnts: jr.Effort.IncCarriedLearnts,
 	}
 }
 

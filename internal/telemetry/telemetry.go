@@ -37,6 +37,15 @@ const (
 	CtrAnalyzerHits   = "analyzer.cache_hits"
 	CtrAnalyzerMisses = "analyzer.cache_misses"
 
+	// Incremental candidate evaluation: long-lived sessions opened, candidate
+	// queries answered on a shared solver, queries that fell back to fresh
+	// solving, and the learnt clauses already attached when each incremental
+	// solver query started (the carryover from earlier candidates).
+	CtrIncSessions  = "incremental.sessions"
+	CtrIncQueries   = "incremental.queries"
+	CtrIncFallbacks = "incremental.fallbacks"
+	CtrIncCarried   = "incremental.carried_learnts"
+
 	HistSolveNs           = "sat.solve_ns"
 	HistConflictsPerSolve = "sat.conflicts_per_solve"
 	HistDecisionsPerSolve = "sat.decisions_per_solve"

@@ -179,6 +179,11 @@ type ClauseSink interface {
 type CNFBuilder struct {
 	solver ClauseSink
 	memo   map[Node]sat.Lit
+	// memoPos/memoNeg memoize the one-directional Plaisted-Greenbaum gates
+	// of GateLit, separately per direction (a gate encoded g -> n must not
+	// be reused where n -> g is required).
+	memoPos map[Node]sat.Lit
+	memoNeg map[Node]sat.Lit
 }
 
 // NewCNFBuilder returns a builder over the sink with numProblemVars
@@ -192,7 +197,12 @@ func NewCNFBuilder(solver ClauseSink, numProblemVars int) *CNFBuilder {
 	for solver.NumVars() < numProblemVars {
 		solver.NewVar()
 	}
-	return &CNFBuilder{solver: solver, memo: map[Node]sat.Lit{}}
+	return &CNFBuilder{
+		solver:  solver,
+		memo:    map[Node]sat.Lit{},
+		memoPos: map[Node]sat.Lit{},
+		memoNeg: map[Node]sat.Lit{},
+	}
 }
 
 // AddAssert asserts that node n is true.
@@ -225,6 +235,78 @@ func (cb *CNFBuilder) AddAssert(n Node) {
 // Lit returns a literal equivalent to node n under the Tseitin clauses
 // added to the sink — usable as a solve-time assumption gating the node.
 func (cb *CNFBuilder) Lit(n Node) sat.Lit { return cb.lit(n) }
+
+// GateLit returns a one-directional activation literal for node n
+// (Plaisted-Greenbaum encoding), about half the clauses of the full
+// equivalence Lit builds:
+//
+//	neg=false: the clauses entail n whenever g is assumed true, and are
+//	           all satisfiable (gate literals set false) when it is not;
+//	neg=true:  the clauses entail NOT n whenever NOT g is assumed, and are
+//	           all satisfiable (gate literals set true) otherwise.
+//
+// The returned literal is NOT equivalent to n — it is sound only as an
+// assumption in the stated direction. Inactive gates of either direction
+// never constrain the problem variables: every emitted clause contains its
+// own gate literal in the releasing polarity.
+func (cb *CNFBuilder) GateLit(n Node, neg bool) sat.Lit { return cb.pgLit(n, !neg) }
+
+// pgLit returns a literal l with l -> n (pos) or n -> l (!pos), encoding
+// only the needed direction of each reachable gate.
+func (cb *CNFBuilder) pgLit(n Node, pos bool) sat.Lit {
+	switch x := n.(type) {
+	case varNode:
+		return sat.PosLit(x.v)
+	case *notNode:
+		// pos: want l -> not sub; with sub -> h this is l := not h.
+		return cb.pgLit(x.sub, !pos).Not()
+	case trueNode, falseNode:
+		// A variable pinned to the constant satisfies both directions.
+		return cb.lit(n)
+	}
+	memo := cb.memoNeg
+	if pos {
+		memo = cb.memoPos
+	}
+	if l, ok := memo[n]; ok {
+		return l
+	}
+	g := sat.PosLit(cb.solver.NewVar())
+	memo[n] = g
+	switch x := n.(type) {
+	case *andNode:
+		if pos {
+			// g -> each sub.
+			for _, s := range x.subs {
+				cb.solver.AddClause(g.Not(), cb.pgLit(s, true))
+			}
+		} else {
+			// (all subs) -> g.
+			long := make([]sat.Lit, 0, len(x.subs)+1)
+			for _, s := range x.subs {
+				long = append(long, cb.pgLit(s, false).Not())
+			}
+			long = append(long, g)
+			cb.solver.AddClause(long...)
+		}
+	case *orNode:
+		if pos {
+			// g -> some sub.
+			long := make([]sat.Lit, 0, len(x.subs)+1)
+			long = append(long, g.Not())
+			for _, s := range x.subs {
+				long = append(long, cb.pgLit(s, true))
+			}
+			cb.solver.AddClause(long...)
+		} else {
+			// each sub -> g.
+			for _, s := range x.subs {
+				cb.solver.AddClause(cb.pgLit(s, false).Not(), g)
+			}
+		}
+	}
+	return g
+}
 
 // lit returns a literal equisatisfiable with node n, Tseitin-encoding gates
 // on demand.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"specrepair/internal/alloy/ast"
+	"specrepair/internal/alloy/printer"
 	"specrepair/internal/alloy/types"
 	"specrepair/internal/bounds"
 	"specrepair/internal/instance"
@@ -33,15 +34,37 @@ type Translator struct {
 	varRel   []string                  // var -> relation name
 	varTuple []uint64                  // var -> tuple key
 	matrices map[string]Matrix
+
+	// callMod, when non-nil, overrides Info.Module for resolving pred/fun
+	// call targets. The incremental analyzer points it at each candidate
+	// module so that calls inline the candidate's (possibly mutated) bodies
+	// while relation variables stay those of the shared base translation.
+	callMod *ast.Module
+
+	// closureMemo caches the matrices of environment-independent (reflexive)
+	// transitive closures, keyed by operator and printed operand. Closure is
+	// the most expensive matrix operation (iterated squaring), its operands
+	// are almost always plain relations, and a long-lived translator sees
+	// the same closure in every candidate of a repair stream. Cached
+	// matrices are shared, never mutated (all matrix operations return new
+	// matrices), and reusing their circuit nodes lets the CNF builder's
+	// per-node memo skip re-encoding them too.
+	closureMemo map[string]Matrix
 }
+
+// SetCallModule overrides the module used to resolve pred/fun calls during
+// translation (nil restores the default, Info.Module). Only name lookup is
+// affected; bounds and relation variables are unchanged.
+func (tr *Translator) SetCallModule(m *ast.Module) { tr.callMod = m }
 
 // New allocates relation variables for every relation in the bounds.
 func New(info *types.Info, b *bounds.Bounds) *Translator {
 	tr := &Translator{
-		Info:     info,
-		Bounds:   b,
-		relVars:  map[string]map[uint64]int{},
-		matrices: map[string]Matrix{},
+		Info:        info,
+		Bounds:      b,
+		relVars:     map[string]map[uint64]int{},
+		matrices:    map[string]Matrix{},
+		closureMemo: map[string]Matrix{},
 	}
 	// Deterministic relation order: sigs, then fields, then primed shadows.
 	var names []string
@@ -248,6 +271,35 @@ func (tr *Translator) idenMatrix() Matrix {
 	return out
 }
 
+// closureKey returns the memo key for a closure expression, and whether the
+// expression is cacheable: its operand must not reference any
+// environment-bound name (a quantified variable or inlined parameter would
+// make the matrix depend on the enclosing instantiation) and must not
+// contain pred/fun calls (their inlined bodies follow the per-candidate
+// call module, not the translator).
+func (tr *Translator) closureKey(x *ast.Unary, env Env) (string, bool) {
+	cacheable := true
+	ast.Walk(x.Sub, func(e ast.Expr) bool {
+		switch y := e.(type) {
+		case *ast.Call:
+			cacheable = false
+		case *ast.Ident:
+			if _, bound := env[y.Name]; bound {
+				cacheable = false
+			}
+		}
+		return cacheable
+	})
+	if !cacheable {
+		return "", false
+	}
+	op := "^"
+	if x.Op == ast.UnReflClose {
+		op = "*"
+	}
+	return op + printer.Expr(x.Sub), true
+}
+
 func (tr *Translator) translateUnary(x *ast.Unary, env Env) (any, error) {
 	if x.Op == ast.UnNot {
 		n, err := tr.Formula(x.Sub, env)
@@ -262,6 +314,25 @@ func (tr *Translator) translateUnary(x *ast.Unary, env Env) (any, error) {
 			return nil, err
 		}
 		return intCount{nodes: m.Nodes()}, nil
+	}
+	if x.Op == ast.UnClosure || x.Op == ast.UnReflClose {
+		if key, ok := tr.closureKey(x, env); ok {
+			if m, hit := tr.closureMemo[key]; hit {
+				return m, nil
+			}
+			sub, err := tr.Expr(x.Sub, env)
+			if err != nil {
+				return nil, err
+			}
+			var m Matrix
+			if x.Op == ast.UnClosure {
+				m = sub.Closure()
+			} else {
+				m = sub.ReflClosure(tr.Bounds.AllAtoms())
+			}
+			tr.closureMemo[key] = m
+			return m, nil
+		}
 	}
 	m, err := tr.Expr(x.Sub, env)
 	if err != nil {
@@ -417,7 +488,10 @@ func (tr *Translator) intCompare(op ast.BinOp, l, r intCount, where string) (Nod
 }
 
 func (tr *Translator) translateCall(x *ast.Call, env Env) (any, error) {
-	mod := tr.Info.Module
+	mod := tr.callMod
+	if mod == nil {
+		mod = tr.Info.Module
+	}
 	var params []*ast.Decl
 	var body ast.Expr
 	if p := mod.LookupPred(x.Name); p != nil {
