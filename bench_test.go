@@ -18,6 +18,7 @@ package specrepair
 // plus microbenchmarks of the substrate (parse, translate, solve).
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -251,7 +252,7 @@ func BenchmarkAblationPruning(b *testing.B) {
 	run := func(b *testing.B, disable bool) {
 		for i := 0; i < b.N; i++ {
 			tool := beafix.New(beafix.Options{DisablePruning: disable})
-			out, err := tool.Repair(repair.Problem{Name: "ablation", Faulty: mod.Clone()})
+			out, err := tool.Repair(context.Background(), repair.Problem{Name: "ablation", Faulty: mod.Clone()})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -325,7 +326,7 @@ func BenchmarkAblationRounds(b *testing.B) {
 						Client:   llm.NewSimulatedModel(1),
 						Analyzer: an,
 					})
-					out, err := tool.Repair(spec.Problem())
+					out, err := tool.Repair(context.Background(), spec.Problem())
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -48,6 +51,9 @@ func run(args []string) error {
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	trace := fs.String("trace", "", "write a JSONL span trace (one line per (technique, spec) job) to this file")
 	metricsAddr := fs.String("metrics-addr", "", "serve live /metrics (Prometheus) and /metrics.json on this address while running")
+	timeout := fs.Duration("timeout", 0, "per-job wall-clock limit; a timed-out (technique, spec) job errors and the run continues")
+	checkpointPath := fs.String("checkpoint", "", "journal completed jobs to this JSONL file")
+	resume := fs.Bool("resume", false, "resume from the -checkpoint journal, skipping already-completed jobs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +62,9 @@ func run(args []string) error {
 	}
 	if !*table1 && !*fig2 && !*fig3 && !*table2 && !*fig4 {
 		return fmt.Errorf("nothing selected; pass -all or one of -table1 -fig2 -fig3 -table2 -fig4")
+	}
+	if *resume && *checkpointPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
 	}
 
 	if *cpuprofile != "" {
@@ -95,8 +104,14 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
 	}
 
+	// First SIGINT cancels the run's context for a graceful shutdown
+	// (in-flight jobs stop, the checkpoint stays consistent); a second
+	// SIGINT falls through to the default handler and kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	study, err := experiments.RunStudy(experiments.Config{
+	study, err := experiments.RunStudyContext(ctx, experiments.Config{
 		Seed:               *seed,
 		Scale:              *scale,
 		Workers:            *workers,
@@ -104,11 +119,17 @@ func run(args []string) error {
 		DisableCache:       *nocache,
 		DisableIncremental: *noincremental,
 		Telemetry:          reg,
+		Timeout:            *timeout,
+		CheckpointPath:     *checkpointPath,
+		Resume:             *resume,
 		Progress: func(msg string) {
 			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), msg)
 		},
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) && *checkpointPath != "" {
+			fmt.Fprintf(os.Stderr, "interrupted; rerun with -checkpoint %s -resume to continue\n", *checkpointPath)
+		}
 		return err
 	}
 

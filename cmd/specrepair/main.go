@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -49,8 +52,14 @@ func run(args []string) error {
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	trace := fs.String("trace", "", "write a JSONL span trace (one line per technique leg) to this file")
 	metricsAddr := fs.String("metrics-addr", "", "serve live /metrics (Prometheus) and /metrics.json on this address while running")
+	timeout := fs.Duration("timeout", 0, "per-leg wall-clock limit; a timed-out technique leg errors")
+	checkpointPath := fs.String("checkpoint", "", "journal completed technique legs to this JSONL file")
+	resume := fs.Bool("resume", false, "resume from the -checkpoint journal, replaying already-completed legs")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *checkpointPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
 	}
 	if *list {
 		for _, n := range core.TechniqueNames {
@@ -138,12 +147,47 @@ func run(args []string) error {
 			b.Solves, b.Conflicts, b.BudgetExhausted, b.CacheHits, b.CacheMisses)
 	}()
 
+	// First SIGINT cancels the context for a graceful stop; a second one
+	// falls through to the default handler and kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var checkpoint *core.Checkpoint
+	if *checkpointPath != "" {
+		if *resume {
+			checkpoint, err = core.OpenCheckpoint(*checkpointPath)
+		} else {
+			checkpoint, err = core.CreateCheckpoint(*checkpointPath)
+		}
+		if err != nil {
+			return err
+		}
+		defer checkpoint.Close()
+	}
+
 	names := []string{*technique}
 	if *hybrid != "" {
 		names = strings.Split(*hybrid, ",")
 	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
+
+		// A journaled leg is replayed instead of re-run: the techniques are
+		// deterministic for a fixed seed, so the stored verdict (and printed
+		// candidate) is exactly what a re-run would produce.
+		if rec := lookupLeg(checkpoint, name, path); rec != nil {
+			reg.Counter(telemetry.CtrJobResumed).Inc()
+			fmt.Fprintf(os.Stderr, "%s: resumed from checkpoint (repaired=%v)\n", name, rec.Repaired)
+			if rec.Err != "" {
+				return fmt.Errorf("%s: %s", name, rec.Err)
+			}
+			if rec.Repaired && rec.Candidate != "" {
+				fmt.Print(rec.Candidate)
+				return nil
+			}
+			continue
+		}
+
 		factory, err := core.FactoryByNameWith(*seed, name, core.FactoryOptions{
 			Cache:              cache,
 			DisableIncremental: *noincremental,
@@ -154,7 +198,12 @@ func run(args []string) error {
 		tool := factory.NewWith(col)
 		col.BeginJob()
 		legStart := time.Now()
-		out, err := tool.Repair(problem)
+		legCtx, cancel := ctx, context.CancelFunc(func() {})
+		if *timeout > 0 {
+			legCtx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		out, err := tool.Repair(legCtx, problem)
+		cancel()
 		outcome := telemetry.OutcomeFailed
 		switch {
 		case err != nil:
@@ -174,6 +223,38 @@ func run(args []string) error {
 			Iterations:    out.Stats.Iterations,
 			Effort:        col.TakeJobEffort(),
 		})
+		if errors.Is(err, context.Canceled) {
+			// Interrupted legs are deliberately not journaled — the work was
+			// abandoned, not completed.
+			if checkpoint != nil {
+				fmt.Fprintf(os.Stderr, "interrupted; rerun with -checkpoint %s -resume to continue\n", *checkpointPath)
+			}
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		// Same guard as the study runner: once the run context is dead, a
+		// leg that nominally completed may have been perturbed by it, so
+		// journal nothing and let resume re-run it.
+		if checkpoint != nil && ctx.Err() == nil {
+			rec := &core.CheckpointRecord{
+				Suite:      "specrepair",
+				Technique:  name,
+				Spec:       path,
+				Repaired:   out.Repaired,
+				Candidates: out.Stats.CandidatesTried,
+				AnalyzerC:  out.Stats.AnalyzerCalls,
+				TestRuns:   out.Stats.TestRuns,
+				Iterations: out.Stats.Iterations,
+			}
+			if err != nil {
+				rec.Err = err.Error()
+			}
+			if out.Repaired && out.Candidate != nil {
+				rec.Candidate = printer.Module(out.Candidate)
+			}
+			if cerr := checkpoint.Append(rec); cerr != nil {
+				return fmt.Errorf("writing checkpoint: %w", cerr)
+			}
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -185,4 +266,12 @@ func run(args []string) error {
 		}
 	}
 	return fmt.Errorf("no technique repaired %s", path)
+}
+
+// lookupLeg fetches a journaled leg, tolerating a nil checkpoint.
+func lookupLeg(c *core.Checkpoint, technique, path string) *core.CheckpointRecord {
+	if c == nil {
+		return nil
+	}
+	return c.Lookup("specrepair", technique, path)
 }

@@ -55,3 +55,35 @@ func TestMissingFile(t *testing.T) {
 		t.Error("missing file should error")
 	}
 }
+
+func TestCheckpointResumeReplaysLeg(t *testing.T) {
+	path := writeSpec(t, faultySrc)
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	if err := run([]string{"-technique", "BeAFix", "-checkpoint", ckpt, path}); err != nil {
+		t.Fatalf("checkpointed run failed: %v", err)
+	}
+	// The journal now holds the repaired leg; a resumed run must succeed by
+	// replaying it (a re-run against the same journal without -resume must
+	// instead be refused).
+	if err := run([]string{"-technique", "BeAFix", "-checkpoint", ckpt, "-resume", path}); err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+	if err := run([]string{"-technique", "BeAFix", "-checkpoint", ckpt, path}); err == nil {
+		t.Error("existing checkpoint without -resume should be refused")
+	}
+}
+
+func TestResumeRequiresCheckpoint(t *testing.T) {
+	path := writeSpec(t, faultySrc)
+	if err := run([]string{"-technique", "BeAFix", "-resume", path}); err == nil {
+		t.Error("-resume without -checkpoint should error")
+	}
+}
+
+func TestTimeoutFlagAccepted(t *testing.T) {
+	// A generous per-leg deadline must not change the verdict.
+	path := writeSpec(t, faultySrc)
+	if err := run([]string{"-technique", "BeAFix", "-timeout", "1m", path}); err != nil {
+		t.Fatalf("run with -timeout failed: %v", err)
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -43,7 +44,7 @@ func run() error {
 		for _, spec := range suite.Specs {
 			gtSrc := printer.Module(spec.GroundTruth)
 			candSrc := printer.Module(spec.Faulty)
-			if out, err := tool.Repair(spec.Problem()); err == nil && out.Candidate != nil {
+			if out, err := tool.Repair(context.Background(), spec.Problem()); err == nil && out.Candidate != nil {
 				candSrc = printer.Module(out.Candidate)
 			}
 			tms = append(tms, metrics.TokenMatch(gtSrc, candSrc))

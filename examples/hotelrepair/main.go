@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -101,7 +102,7 @@ func run() error {
 	fmt.Printf("%-24s %8s %4s %7s %7s\n", "technique", "claimed", "REP", "TM", "SM")
 	for _, factory := range core.StudyFactories(1) {
 		tool := factory.New()
-		out, err := tool.Repair(problem)
+		out, err := tool.Repair(context.Background(), problem)
 		if err != nil {
 			// ARepair needs tests; report and continue.
 			fmt.Printf("%-24s %8s\n", factory.Name, "n/a")

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -45,12 +46,12 @@ func run() error {
 	atrFixed := map[string]bool{}
 	mrFixed := map[string]bool{}
 	for _, spec := range suite.Specs {
-		if out, err := atrTool.Repair(spec.Problem()); err == nil && out.Candidate != nil {
+		if out, err := atrTool.Repair(context.Background(), spec.Problem()); err == nil && out.Candidate != nil {
 			if rep, _ := metrics.REP(an, spec.GroundTruth, out.Candidate); rep == 1 {
 				atrFixed[spec.Name] = true
 			}
 		}
-		if out, err := mrTool.Repair(spec.Problem()); err == nil && out.Candidate != nil {
+		if out, err := mrTool.Repair(context.Background(), spec.Problem()); err == nil && out.Candidate != nil {
 			if rep, _ := metrics.REP(an, spec.GroundTruth, out.Candidate); rep == 1 {
 				mrFixed[spec.Name] = true
 			}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -80,7 +81,7 @@ func run() error {
 	// 3. Repair with ATR (counterexample/instance difference analysis plus
 	// templates, validated against the embedded commands).
 	tool := atr.New(atr.Options{})
-	out, err := tool.Repair(repair.Problem{Name: "hotel", Faulty: mod})
+	out, err := tool.Repair(context.Background(), repair.Problem{Name: "hotel", Faulty: mod})
 	if err != nil {
 		return err
 	}
@@ -91,7 +92,7 @@ func run() error {
 		out.Stats.CandidatesTried, out.Stats.AnalyzerCalls)
 
 	// 4. Verify: every command passes on the repaired model.
-	ok, err := repair.OracleAllCommandsPass(an, out.Candidate)
+	ok, err := repair.OracleAllCommandsPass(context.Background(), an, out.Candidate)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@
 package analyzer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -57,6 +58,31 @@ type Analyzer struct {
 	opts Options
 	// optsKey folds the result-affecting options into cache keys.
 	optsKey string
+	// ctx, when non-nil, cancels in-flight analyses (translation and SAT
+	// search). It is deliberately NOT part of optsKey: cancellation changes
+	// when an answer is computed, never what the answer is, and results cut
+	// short by cancellation are returned as errors and never cached.
+	ctx context.Context
+}
+
+// WithContext returns a copy of the analyzer whose analyses are cancelled
+// when ctx is done. A cancelled analysis returns the context's error; nothing
+// partial enters the analysis cache. The receiver is unchanged, so one base
+// analyzer can serve many jobs, each bound to its own deadline.
+func (a *Analyzer) WithContext(ctx context.Context) *Analyzer {
+	if ctx == nil || ctx == context.Background() {
+		return a
+	}
+	cp := *a
+	cp.ctx = ctx
+	return &cp
+}
+
+func (a *Analyzer) ctxErr() error {
+	if a.ctx != nil {
+		return a.ctx.Err()
+	}
+	return nil
 }
 
 // New returns an analyzer.
@@ -205,6 +231,7 @@ func (s *session) state(sc ast.Scope) *scopeState {
 	}
 	st.bounds = b
 	st.tr = translate.New(s.info, b)
+	st.tr.SetContext(s.an.ctx)
 	implicit, err := st.tr.ImplicitConstraints()
 	if err != nil {
 		st.err = fmt.Errorf("translating implicit constraints: %w", err)
@@ -221,6 +248,7 @@ func (s *session) state(sc ast.Scope) *scopeState {
 	}
 	st.solver = sat.NewSolver(sat.Options{
 		MaxConflicts: s.an.opts.MaxConflicts,
+		Context:      s.an.ctx,
 		Telemetry:    s.an.opts.Telemetry,
 	})
 	st.cb = translate.NewCNFBuilder(st.solver, st.tr.NumVars())
@@ -248,6 +276,14 @@ func (s *session) run(cmd *ast.Command) (*Result, error) {
 	gate := st.cb.Lit(goalNode)
 
 	status := st.solver.Solve(gate)
+	if status == sat.StatusUnknown {
+		// Unknown from a cancelled context is nondeterministic — it depends
+		// on when the deadline fired, not on the problem — so it must surface
+		// as an error and never be cached or mistaken for a budget exhaustion.
+		if err := s.an.ctxErr(); err != nil {
+			return nil, fmt.Errorf("%s %s: %w", cmd.Kind, cmd.Name, err)
+		}
+	}
 	res := &Result{
 		Command: cmd,
 		Status:  status,
@@ -462,6 +498,10 @@ func (a *Analyzer) equisatBaselineUncached(gtCommands []*ast.Command, verdicts [
 		}
 		cand, err := s.run(cmd)
 		if err != nil {
+			// A cancelled analysis is not a verdict on the candidate.
+			if ctxErr := a.ctxErr(); ctxErr != nil {
+				return false, ctxErr
+			}
 			return false, nil // command not executable on the candidate
 		}
 		if cand.Status == sat.StatusUnknown {

@@ -1,0 +1,73 @@
+package analyzer
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"specrepair/internal/anacache"
+)
+
+const ctxTestSrc = `
+sig Node { next: lone Node }
+pred hasLink { some next }
+run hasLink for 3
+`
+
+func TestWithContextIdentityCases(t *testing.T) {
+	a := New(Options{})
+	if a.WithContext(nil) != a {
+		t.Error("WithContext(nil) should return the receiver")
+	}
+	if a.WithContext(context.Background()) != a {
+		t.Error("WithContext(Background) should return the receiver")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if a.WithContext(ctx) == a {
+		t.Error("WithContext(real ctx) should return a bound copy")
+	}
+}
+
+func TestExecuteAllCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := New(Options{}).WithContext(ctx)
+	if _, err := a.ExecuteAll(mustParse(t, ctxTestSrc)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelledRunDoesNotPolluteCache: a query aborted by cancellation must
+// not leave an entry behind — a later run on the same cache has to compute
+// the real verdict, not inherit an Unknown-shaped one.
+func TestCancelledRunDoesNotPolluteCache(t *testing.T) {
+	cache := anacache.New(0)
+	mod := mustParse(t, ctxTestSrc)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(Options{Cache: cache}).WithContext(ctx).ExecuteAll(mod); err == nil {
+		t.Fatal("cancelled run should error")
+	}
+	if entries := cache.Stats().Entries; entries != 0 {
+		t.Fatalf("cancelled run left %d cache entries", entries)
+	}
+
+	results, err := New(Options{Cache: cache}).ExecuteAll(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Sat {
+		t.Errorf("post-cancellation run wrong: %+v", results)
+	}
+}
+
+func TestPassesAllCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := New(Options{}).WithContext(ctx)
+	if _, err := a.PassesAll(mustParse(t, ctxTestSrc)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -227,6 +227,7 @@ func (s *incSession) build(sc ast.Scope) *incScope {
 		return st
 	}
 	st.tr = translate.New(s.info, b)
+	st.tr.SetContext(s.an.ctx)
 	implicit, err := st.tr.ImplicitConstraints()
 	if err != nil {
 		st.err = err
@@ -234,6 +235,7 @@ func (s *incSession) build(sc ast.Scope) *incScope {
 	}
 	st.solver = sat.NewSolver(sat.Options{
 		MaxConflicts: s.an.opts.MaxConflicts,
+		Context:      s.an.ctx,
 		Telemetry:    s.an.opts.Telemetry,
 	})
 	st.cb = translate.NewCNFBuilder(st.solver, st.tr.NumVars())

@@ -14,6 +14,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -150,7 +151,7 @@ func (g *Generator) generate(name string, profiles []domainProfile) (*Suite, err
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: ground truth does not parse: %w", name, p.domain, err)
 		}
-		ok, err := repair.OracleAllCommandsPass(g.an, gt)
+		ok, err := repair.OracleAllCommandsPass(context.Background(), g.an, gt)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: ground truth does not analyze: %w", name, p.domain, err)
 		}

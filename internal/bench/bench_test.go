@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"specrepair/internal/alloy/parser"
@@ -20,7 +21,7 @@ func TestGroundTruthsPassOracleAndTests(t *testing.T) {
 			if err != nil {
 				t.Fatalf("parse: %v", err)
 			}
-			ok, err := repair.OracleAllCommandsPass(an, gt)
+			ok, err := repair.OracleAllCommandsPass(context.Background(), an, gt)
 			if err != nil {
 				t.Fatalf("oracle: %v", err)
 			}
@@ -78,7 +79,7 @@ func TestGeneratedSpecsAreGenuinelyFaulty(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range append(append([]*Spec(nil), a4f.Specs...), ar.Specs...) {
-		ok, err := repair.OracleAllCommandsPass(an, s.Faulty)
+		ok, err := repair.OracleAllCommandsPass(context.Background(), an, s.Faulty)
 		if err != nil {
 			t.Errorf("%s: faulty spec does not analyze: %v", s.Name, err)
 			continue

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -180,7 +181,7 @@ func (g *Generator) inject(p domainProfile, gt *ast.Module) ([]*Spec, error) {
 // breaksOracle reports whether the module fails at least one of its
 // commands (and still analyzes at all).
 func (g *Generator) breaksOracle(mod *ast.Module) bool {
-	ok, err := repair.OracleAllCommandsPass(g.an, mod)
+	ok, err := repair.OracleAllCommandsPass(context.Background(), g.an, mod)
 	if err != nil {
 		return false // non-analyzable mutants are not realistic faulty specs
 	}

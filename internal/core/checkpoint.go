@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"specrepair/internal/bench"
+	"specrepair/internal/repair"
+)
+
+// CheckpointRecord is one journaled (suite, technique, spec) result — the
+// fields the study's final artifacts derive from (REP, TM, SM, effort
+// stats), plus the printed candidate so CLI consumers can replay what a
+// completed job produced. Wall-clock measurements are deliberately absent:
+// a resumed run re-reports effort, not time.
+type CheckpointRecord struct {
+	Suite     string  `json:"suite"`
+	Technique string  `json:"technique"`
+	Spec      string  `json:"spec"`
+	Repaired  bool    `json:"repaired"`
+	REP       int     `json:"rep"`
+	TM        float64 `json:"tm"`
+	SM        float64 `json:"sm"`
+
+	Candidates int `json:"candidates,omitempty"`
+	AnalyzerC  int `json:"analyzerCalls,omitempty"`
+	TestRuns   int `json:"testRuns,omitempty"`
+	Iterations int `json:"iterations,omitempty"`
+
+	Err       string `json:"err,omitempty"`
+	Candidate string `json:"candidate,omitempty"`
+}
+
+// Checkpoint is an append-only JSONL journal of completed evaluation jobs.
+// Each completed (suite, technique, spec) job appends one record; on resume
+// the journal is loaded and already-journaled jobs are served from it
+// instead of re-running. Appends are mutex-serialized and flushed per
+// record, so a crash loses at most the record being written — a truncated
+// final line is tolerated (and dropped) on load.
+type Checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	done map[string]*CheckpointRecord
+	path string
+}
+
+func checkpointKey(suite, technique, spec string) string {
+	return suite + "\x00" + technique + "\x00" + spec
+}
+
+// CreateCheckpoint starts a fresh journal at path. It refuses to overwrite
+// an existing file — a leftover journal is either a run to resume (use
+// OpenCheckpoint) or stale state the operator should remove explicitly.
+func CreateCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove it to start over", path)
+		}
+		return nil, fmt.Errorf("creating checkpoint: %w", err)
+	}
+	return &Checkpoint{f: f, w: bufio.NewWriter(f), done: map[string]*CheckpointRecord{}, path: path}, nil
+}
+
+// OpenCheckpoint loads an existing journal for resumption and reopens it
+// for appending. A missing file starts an empty journal (resuming a run
+// that never checkpointed is just a fresh run). A truncated final line —
+// the signature of a crash mid-append — is dropped; any other malformed
+// content is an error, since silently skipping records would desynchronize
+// the resumed run from the journal.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	done := map[string]*CheckpointRecord{}
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("reading checkpoint: %w", err)
+	}
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			// No trailing newline: the record was cut off mid-append.
+			break
+		}
+		line := data[:i]
+		data = data[i+1:]
+		if len(line) == 0 {
+			continue
+		}
+		rec := &CheckpointRecord{}
+		if err := json.Unmarshal(line, rec); err != nil {
+			return nil, fmt.Errorf("corrupt checkpoint %s: %w", path, err)
+		}
+		done[checkpointKey(rec.Suite, rec.Technique, rec.Spec)] = rec
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("opening checkpoint: %w", err)
+	}
+	return &Checkpoint{f: f, w: bufio.NewWriter(f), done: done, path: path}, nil
+}
+
+// Len reports how many completed jobs the journal holds.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Lookup returns the journaled record for one job, or nil.
+func (c *Checkpoint) Lookup(suite, technique, spec string) *CheckpointRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done[checkpointKey(suite, technique, spec)]
+}
+
+// Append journals one completed job and flushes it to disk.
+func (c *Checkpoint) Append(rec *CheckpointRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[checkpointKey(rec.Suite, rec.Technique, rec.Spec)] = rec
+	if _, err := c.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Close flushes and closes the journal file. The in-memory index stays
+// usable for lookups.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	ferr := c.w.Flush()
+	cerr := c.f.Close()
+	c.f = nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// record converts one evaluation result into its journal form.
+func checkpointRecordOf(suite string, res *Result) *CheckpointRecord {
+	rec := &CheckpointRecord{
+		Suite:      suite,
+		Technique:  res.Technique,
+		Spec:       res.Spec.Name,
+		Repaired:   res.Outcome.Repaired,
+		REP:        res.REP,
+		TM:         res.TM,
+		SM:         res.SM,
+		Candidates: res.Outcome.Stats.CandidatesTried,
+		AnalyzerC:  res.Outcome.Stats.AnalyzerCalls,
+		TestRuns:   res.Outcome.Stats.TestRuns,
+		Iterations: res.Outcome.Stats.Iterations,
+	}
+	if res.Err != nil {
+		rec.Err = res.Err.Error()
+	}
+	return rec
+}
+
+// materialize converts a journaled record back into a Result for the given
+// spec. The candidate module is not reconstructed — final artifacts derive
+// from the scored fields, and the printed candidate stays available on the
+// record itself.
+func (rec *CheckpointRecord) materialize(spec *bench.Spec) *Result {
+	res := &Result{
+		Spec:      spec,
+		Technique: rec.Technique,
+		REP:       rec.REP,
+		TM:        rec.TM,
+		SM:        rec.SM,
+		Outcome: repair.Outcome{
+			Repaired: rec.Repaired,
+			Stats: repair.Stats{
+				CandidatesTried: rec.Candidates,
+				AnalyzerCalls:   rec.AnalyzerC,
+				TestRuns:        rec.TestRuns,
+				Iterations:      rec.Iterations,
+			},
+		},
+	}
+	if rec.Err != "" {
+		res.Err = errors.New(rec.Err)
+	}
+	return res
+}

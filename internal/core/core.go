@@ -5,8 +5,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -279,7 +282,32 @@ type Runner struct {
 	// spec) pair, along with point-in-time snapshots of the shared analysis
 	// cache and the telemetry registry (zero values when absent).
 	Progress func(technique, spec string, done, total int, cache anacache.Stats, tel telemetry.Brief)
+	// Timeout, when positive, bounds each (technique, spec) job's wall
+	// clock. A job that exceeds it yields a Result with Err set (a
+	// deterministic context.DeadlineExceeded) and the run continues — one
+	// pathological candidate cannot wedge the study. Note that which point a
+	// search had reached when the deadline fired is wall-clock dependent, so
+	// runs with a Timeout are only byte-identical when no job actually
+	// times out.
+	Timeout time.Duration
+	// Checkpoint, when non-nil, journals each completed job and serves
+	// already-journaled (suite, technique, spec) jobs on later runs without
+	// re-running them — the resume path after an interrupt or crash. Jobs
+	// abandoned because the whole run was cancelled are never journaled.
+	Checkpoint *Checkpoint
 }
+
+// PanicError wraps a panic recovered from a repair technique, attributing it
+// to the job that raised it while the rest of the run continues.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+// Error renders the panic value; the captured stack is available on the
+// struct for diagnostics but excluded here so error strings stay
+// deterministic.
+func (e *PanicError) Error() string { return fmt.Sprintf("technique panicked: %v", e.Value) }
 
 // cacheStats snapshots the shared cache (zero value when uncached).
 func (r *Runner) cacheStats() anacache.Stats {
@@ -291,6 +319,18 @@ func (r *Runner) cacheStats() anacache.Stats {
 
 // Evaluate runs every factory over every spec of the suite.
 func (r *Runner) Evaluate(suite *bench.Suite, factories []Factory) (*Evaluation, error) {
+	return r.EvaluateContext(context.Background(), suite, factories)
+}
+
+// EvaluateContext runs every factory over every spec of the suite, under the
+// given context. Cancelling ctx stops dispatching new jobs, cancels in-flight
+// ones, and returns the partial evaluation together with ctx's error;
+// completed jobs remain journaled in the Checkpoint (when set), so a later
+// run with the same Checkpoint resumes where this one stopped.
+func (r *Runner) EvaluateContext(ctx context.Context, suite *bench.Suite, factories []Factory) (*Evaluation, error) {
+	if err := checkDuplicateSpecs(suite); err != nil {
+		return nil, err
+	}
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -308,8 +348,42 @@ func (r *Runner) Evaluate(suite *bench.Suite, factories []Factory) (*Evaluation,
 		factory Factory
 		spec    *bench.Spec
 	}
+	total := len(factories) * len(suite.Specs)
+	done := 0
+
+	record := func(res *Result) {
+		eval.Results[res.Technique][res.Spec.Name] = res
+		ts := eval.TechStats[res.Technique]
+		ts.Add(res.Outcome.Stats)
+		eval.TechStats[res.Technique] = ts
+		done++
+		if r.Progress != nil {
+			r.Progress(res.Technique, res.Spec.Name, done, total, r.cacheStats(), r.Telemetry.Brief())
+		}
+	}
+
+	// Resume pass: serve journaled jobs from the checkpoint without
+	// re-running them (and without re-journaling or recording job spans — no
+	// new effort was spent). Only the remainder is dispatched.
+	var pending []job
+	resumed := r.Telemetry.Counter(telemetry.CtrJobResumed)
+	for _, f := range factories {
+		for _, s := range suite.Specs {
+			if r.Checkpoint != nil {
+				if rec := r.Checkpoint.Lookup(suite.Name, f.Name, s.Name); rec != nil {
+					record(rec.materialize(s))
+					resumed.Inc()
+					continue
+				}
+			}
+			pending = append(pending, job{factory: f, spec: s})
+		}
+	}
+
+	// The buffer decouples workers from the single-threaded drain loop:
+	// without it every worker parks on the drain loop between jobs.
 	jobs := make(chan job)
-	results := make(chan *Result)
+	results := make(chan *Result, workers)
 	var wg sync.WaitGroup
 
 	for w := 0; w < workers; w++ {
@@ -329,14 +403,25 @@ func (r *Runner) Evaluate(suite *bench.Suite, factories []Factory) (*Evaluation,
 					tool = j.factory.NewWith(col)
 					tools[j.factory.Name] = tool
 				}
+				jobCtx, cancel := ctx, context.CancelFunc(nil)
+				if r.Timeout > 0 {
+					jobCtx, cancel = context.WithTimeout(ctx, r.Timeout)
+				}
 				if r.Telemetry == nil {
-					results <- evaluateOne(an, tool, j.factory.Name, j.spec)
+					res := evaluateOne(jobCtx, an, tool, j.factory.Name, j.spec)
+					if cancel != nil {
+						cancel()
+					}
+					results <- res
 					continue
 				}
 				col.BeginJob()
 				start := time.Now()
-				res := evaluateOne(an, tool, j.factory.Name, j.spec)
+				res := evaluateOne(jobCtx, an, tool, j.factory.Name, j.spec)
 				dur := time.Since(start)
+				if cancel != nil {
+					cancel()
+				}
 				outcome := telemetry.OutcomeFailed
 				switch {
 				case res.Err != nil:
@@ -363,9 +448,12 @@ func (r *Runner) Evaluate(suite *bench.Suite, factories []Factory) (*Evaluation,
 	}
 
 	go func() {
-		for _, f := range factories {
-			for _, s := range suite.Specs {
-				jobs <- job{factory: f, spec: s}
+	dispatch:
+		for _, j := range pending {
+			select {
+			case jobs <- j:
+			case <-ctx.Done():
+				break dispatch
 			}
 		}
 		close(jobs)
@@ -373,27 +461,72 @@ func (r *Runner) Evaluate(suite *bench.Suite, factories []Factory) (*Evaluation,
 		close(results)
 	}()
 
-	total := len(factories) * len(suite.Specs)
-	done := 0
+	timeouts := r.Telemetry.Counter(telemetry.CtrJobTimeouts)
+	panics := r.Telemetry.Counter(telemetry.CtrJobPanics)
+	cancelled := r.Telemetry.Counter(telemetry.CtrJobCancelled)
+	var checkpointErr error
 	for res := range results {
-		eval.Results[res.Technique][res.Spec.Name] = res
-		ts := eval.TechStats[res.Technique]
-		ts.Add(res.Outcome.Stats)
-		eval.TechStats[res.Technique] = ts
-		done++
-		if r.Progress != nil {
-			r.Progress(res.Technique, res.Spec.Name, done, total, r.cacheStats(), r.Telemetry.Brief())
+		record(res)
+		// Classify the failure mode. A job-level deadline surfaces as
+		// DeadlineExceeded; Canceled can only come from the run-wide context
+		// (job contexts are deadline-only), so those jobs were abandoned, not
+		// completed, and must not be journaled — resume re-runs them.
+		var pe *PanicError
+		wasCancelled := errors.Is(res.Err, context.Canceled)
+		switch {
+		case wasCancelled:
+			cancelled.Inc()
+		case errors.Is(res.Err, context.DeadlineExceeded):
+			timeouts.Inc()
+		}
+		if errors.As(res.Err, &pe) {
+			panics.Inc()
+		}
+		// Journal only while the run-wide context is live. A job finishing
+		// after cancellation may have been perturbed by the dead context in
+		// ways that don't surface as Canceled (an oracle query failing fast
+		// inside a technique that tolerates oracle errors), so its result is
+		// not guaranteed to match a clean run's; dropping it merely makes
+		// resume re-run it. Results drained before cancellation necessarily
+		// completed unperturbed.
+		if r.Checkpoint != nil && !wasCancelled && ctx.Err() == nil && checkpointErr == nil {
+			checkpointErr = r.Checkpoint.Append(checkpointRecordOf(suite.Name, res))
 		}
 	}
 	eval.CacheStats = r.cacheStats()
 	eval.Telemetry = r.Telemetry.Brief()
-	return eval, nil
+	if checkpointErr != nil {
+		return eval, fmt.Errorf("writing checkpoint: %w", checkpointErr)
+	}
+	return eval, ctx.Err()
 }
 
-// evaluateOne runs one technique on one spec and scores the outcome.
-func evaluateOne(an *analyzer.Analyzer, tool repair.Technique, name string, spec *bench.Spec) *Result {
-	res := &Result{Spec: spec, Technique: name}
-	out, err := tool.Repair(spec.Problem())
+// checkDuplicateSpecs rejects suites with repeated spec names: results are
+// keyed by name, so a duplicate would silently overwrite its sibling's
+// result and corrupt REP counts and hybrid unions.
+func checkDuplicateSpecs(suite *bench.Suite) error {
+	seen := make(map[string]bool, len(suite.Specs))
+	for _, s := range suite.Specs {
+		if seen[s.Name] {
+			return fmt.Errorf("suite %s: duplicate spec name %q", suite.Name, s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return nil
+}
+
+// evaluateOne runs one technique on one spec and scores the outcome. A panic
+// in the technique (or scoring) is recovered into a *PanicError on the
+// result, isolating the failure to this job.
+func evaluateOne(ctx context.Context, an *analyzer.Analyzer, tool repair.Technique, name string, spec *bench.Spec) (res *Result) {
+	res = &Result{Spec: spec, Technique: name}
+	defer func() {
+		if v := recover(); v != nil {
+			res.Err = errors.Join(res.Err, &PanicError{Value: v, Stack: string(debug.Stack())})
+		}
+	}()
+	an = an.WithContext(ctx)
+	out, err := tool.Repair(ctx, spec.Problem())
 	res.Outcome = out
 	if err != nil {
 		res.Err = err
@@ -406,8 +539,10 @@ func evaluateOne(an *analyzer.Analyzer, tool repair.Technique, name string, spec
 		rep, repErr := metrics.REP(an, spec.GroundTruth, candidate)
 		if repErr == nil {
 			res.REP = rep
-		} else if res.Err == nil {
-			res.Err = repErr
+		} else {
+			// Keep both failures visible: a repair error does not excuse a
+			// metric error (this used to silently drop the latter).
+			res.Err = errors.Join(res.Err, fmt.Errorf("REP metric: %w", repErr))
 		}
 	}
 	res.TM = metrics.TokenMatch(gtSrc, candSrc)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -151,6 +152,89 @@ func TestHybridsArithmetic(t *testing.T) {
 	}
 }
 
+// mkEval fabricates an evaluation with the given per-technique repaired sets.
+func mkEval(suite string, repaired map[string][]string) *Evaluation {
+	eval := &Evaluation{
+		Suite:   &bench.Suite{Name: suite},
+		Results: map[string]map[string]*Result{},
+	}
+	for _, tech := range TechniqueNames {
+		eval.Results[tech] = map[string]*Result{}
+		for _, spec := range repaired[tech] {
+			eval.Results[tech][spec] = &Result{Technique: tech, REP: 1, Spec: &bench.Spec{Name: spec}}
+		}
+	}
+	return eval
+}
+
+// TestHybridsInvariants checks the structural properties every pairing must
+// satisfy regardless of the underlying results.
+func TestHybridsInvariants(t *testing.T) {
+	evalA := mkEval("A", map[string][]string{
+		"ARepair":          {"x", "y"},
+		"ATR":              {"y"},
+		"Multi-Round_None": {"x", "z"},
+		"Single-Round_Loc": {"z"},
+	})
+	evalB := mkEval("B", map[string][]string{
+		"ARepair":          {"x"},
+		"Multi-Round_None": {"q"},
+	})
+	hybrids := Hybrids(evalA, evalB)
+	if len(hybrids) != len(TraditionalNames)*len(LLMNames) {
+		t.Fatalf("hybrids = %d, want %d", len(hybrids), len(TraditionalNames)*len(LLMNames))
+	}
+	seen := map[string]bool{}
+	for _, h := range hybrids {
+		if h.Union != h.TraditionalRepairs+h.LLMRepairs-h.Overlap {
+			t.Errorf("%s+%s: union %d != %d + %d - %d",
+				h.Traditional, h.LLM, h.Union, h.TraditionalRepairs, h.LLMRepairs, h.Overlap)
+		}
+		if h.Overlap > h.TraditionalRepairs || h.Overlap > h.LLMRepairs {
+			t.Errorf("%s+%s: overlap %d exceeds an individual count", h.Traditional, h.LLM, h.Overlap)
+		}
+		if seen[h.Traditional+"+"+h.LLM] {
+			t.Errorf("duplicate pairing %s+%s", h.Traditional, h.LLM)
+		}
+		seen[h.Traditional+"+"+h.LLM] = true
+	}
+}
+
+// TestHybridsCrossSuitePrefixing pins the suite-qualified counting: the same
+// spec name in two suites is two distinct specs, not one.
+func TestHybridsCrossSuitePrefixing(t *testing.T) {
+	evalA := mkEval("A", map[string][]string{
+		"ARepair":          {"x"},
+		"Multi-Round_None": {"x"},
+	})
+	evalB := mkEval("B", map[string][]string{
+		"ARepair": {"x"},
+	})
+	for _, h := range Hybrids(evalA, evalB) {
+		if h.Traditional != "ARepair" || h.LLM != "Multi-Round_None" {
+			continue
+		}
+		// A/x and B/x are distinct; only A/x overlaps with the LLM's repair.
+		if h.TraditionalRepairs != 2 || h.LLMRepairs != 1 || h.Overlap != 1 || h.Union != 2 {
+			t.Errorf("cross-suite counting broken: %+v", h)
+		}
+	}
+}
+
+// TestHybridsEmptyEvaluations: no evaluations still yields the full pairing
+// grid, all zeroed — downstream tables index into it unconditionally.
+func TestHybridsEmptyEvaluations(t *testing.T) {
+	hybrids := Hybrids()
+	if len(hybrids) != len(TraditionalNames)*len(LLMNames) {
+		t.Fatalf("hybrids = %d, want %d", len(hybrids), len(TraditionalNames)*len(LLMNames))
+	}
+	for _, h := range hybrids {
+		if h.TraditionalRepairs != 0 || h.LLMRepairs != 0 || h.Overlap != 0 || h.Union != 0 {
+			t.Errorf("empty study produced nonzero hybrid: %+v", h)
+		}
+	}
+}
+
 func TestEvaluateOneMalformedTool(t *testing.T) {
 	// A technique erroring must produce a scored result, not poison the run.
 	suite := miniSuite(t)
@@ -176,7 +260,7 @@ func TestEvaluateOneMalformedTool(t *testing.T) {
 type brokenTool struct{}
 
 func (brokenTool) Name() string { return "broken" }
-func (brokenTool) Repair(repair.Problem) (repair.Outcome, error) {
+func (brokenTool) Repair(context.Context, repair.Problem) (repair.Outcome, error) {
 	return repair.Outcome{}, errTest
 }
 

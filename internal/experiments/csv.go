@@ -26,6 +26,8 @@ import (
 //	telemetry_techniques.csv   job-duration quantiles and effort per technique
 //	telemetry_specs.csv        per-spec total duration and solver conflicts
 //	telemetry_incremental.csv  incremental-evaluation session/query/fallback totals
+//	telemetry_jobs.csv         fault-tolerance totals (timeouts, recovered panics,
+//	                           checkpoint resumes, cancellations)
 //
 // The files carry exactly the data behind the rendered tables and figures,
 // for external plotting.
@@ -194,5 +196,26 @@ func (s *Study) WriteCSV(dir string) error {
 		rows = append(rows, []string{m.name,
 			strconv.FormatInt(s.Telemetry.CounterValue(m.counter), 10)})
 	}
-	return write("telemetry_incremental.csv", rows)
+	if err := write("telemetry_incremental.csv", rows); err != nil {
+		return err
+	}
+
+	// telemetry_jobs.csv
+	rows = [][]string{{"metric", "value"}}
+	for _, m := range []struct {
+		name    string
+		counter string
+	}{
+		{"completed", telemetry.CtrJobs},
+		{"repaired", telemetry.CtrJobsRepaired},
+		{"errored", telemetry.CtrJobsErrored},
+		{"timeouts", telemetry.CtrJobTimeouts},
+		{"panics_recovered", telemetry.CtrJobPanics},
+		{"resumed", telemetry.CtrJobResumed},
+		{"cancelled", telemetry.CtrJobCancelled},
+	} {
+		rows = append(rows, []string{m.name,
+			strconv.FormatInt(s.Telemetry.CounterValue(m.counter), 10)})
+	}
+	return write("telemetry_jobs.csv", rows)
 }

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -79,6 +80,16 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	// Progress receives human-readable progress lines when non-nil.
 	Progress func(string)
+	// Timeout, when positive, bounds each (technique, spec) job's wall
+	// clock; a timed-out job yields an errored result and the run continues.
+	Timeout time.Duration
+	// CheckpointPath, when non-empty, journals every completed job to this
+	// JSONL file. Without Resume the file must not already exist.
+	CheckpointPath string
+	// Resume loads an existing checkpoint at CheckpointPath and skips the
+	// jobs it records, so an interrupted run continues where it stopped and
+	// produces the same final artifacts an uninterrupted run would.
+	Resume bool
 }
 
 // Run executes the full study: generate both benchmarks (scaled down by
@@ -94,6 +105,15 @@ func Run(seed int64, scale, workers int, progress func(string)) (*Study, error) 
 // all twelve techniques across all workers, and the REP equisatisfiability
 // scoring.
 func RunStudy(cfg Config) (*Study, error) {
+	return RunStudyContext(context.Background(), cfg)
+}
+
+// RunStudyContext executes the study under the given configuration and
+// context. Cancelling ctx (e.g. from a SIGINT handler) stops the run
+// gracefully: in-flight jobs are cancelled, completed work stays journaled
+// when a checkpoint is configured, and the partial study is returned with
+// the context's error.
+func RunStudyContext(ctx context.Context, cfg Config) (*Study, error) {
 	var cache *anacache.Cache
 	if !cfg.DisableCache {
 		cache = anacache.New(cfg.CacheCapacity)
@@ -108,11 +128,32 @@ func RunStudy(cfg Config) (*Study, error) {
 	}
 	study := &Study{Cache: cache, Telemetry: reg}
 	progress := cfg.Progress
+
+	var checkpoint *core.Checkpoint
+	if cfg.CheckpointPath != "" {
+		var err error
+		if cfg.Resume {
+			checkpoint, err = core.OpenCheckpoint(cfg.CheckpointPath)
+		} else {
+			checkpoint, err = core.CreateCheckpoint(cfg.CheckpointPath)
+		}
+		if err != nil {
+			return nil, err
+		}
+		defer checkpoint.Close()
+		if cfg.Resume && progress != nil {
+			progress(fmt.Sprintf("resuming: %d jobs already checkpointed", checkpoint.Len()))
+		}
+	}
+
 	// Generation is sequential, so one collector covers the whole phase.
+	// Binding the generator's analyzer to ctx makes even this phase
+	// interruptible (generation is deterministic and cheap relative to
+	// evaluation, so it is re-done rather than checkpointed on resume).
 	gen := bench.NewGenerator(analyzer.New(analyzer.Options{
 		Cache:     cache,
 		Telemetry: telemetry.NewCollector(reg),
-	}))
+	}).WithContext(ctx))
 	if cfg.Scale > 1 {
 		gen.Scale = cfg.Scale
 	}
@@ -129,7 +170,14 @@ func RunStudy(cfg Config) (*Study, error) {
 		Cache:              cache,
 		DisableIncremental: cfg.DisableIncremental,
 	})
-	runner := &core.Runner{Workers: cfg.Workers, Seed: cfg.Seed, Cache: cache, Telemetry: reg}
+	runner := &core.Runner{
+		Workers:    cfg.Workers,
+		Seed:       cfg.Seed,
+		Cache:      cache,
+		Telemetry:  reg,
+		Timeout:    cfg.Timeout,
+		Checkpoint: checkpoint,
+	}
 	if progress != nil {
 		runner.Progress = func(tech, spec string, done, total int, cs anacache.Stats, tel telemetry.Brief) {
 			if done%500 == 0 || done == total {
@@ -148,7 +196,7 @@ func RunStudy(cfg Config) (*Study, error) {
 		progress(fmt.Sprintf("evaluating %d techniques x %d A4F specs", len(factories), len(a4f.Specs)))
 	}
 	phaseStart = time.Now()
-	a4fEval, err := runner.Evaluate(a4f, factories)
+	a4fEval, err := runner.EvaluateContext(ctx, a4f, factories)
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +205,7 @@ func RunStudy(cfg Config) (*Study, error) {
 		progress(fmt.Sprintf("evaluating %d techniques x %d ARepair specs", len(factories), len(ar.Specs)))
 	}
 	phaseStart = time.Now()
-	arEval, err := runner.Evaluate(ar, factories)
+	arEval, err := runner.EvaluateContext(ctx, ar, factories)
 	if err != nil {
 		return nil, err
 	}

@@ -26,6 +26,13 @@ func (s *Study) TelemetryReport() string {
 		reg.CounterValue(telemetry.CtrJobs),
 		reg.CounterValue(telemetry.CtrJobsRepaired),
 		reg.CounterValue(telemetry.CtrJobsErrored))
+	if t, p, rs, c := reg.CounterValue(telemetry.CtrJobTimeouts),
+		reg.CounterValue(telemetry.CtrJobPanics),
+		reg.CounterValue(telemetry.CtrJobResumed),
+		reg.CounterValue(telemetry.CtrJobCancelled); t+p+rs+c > 0 {
+		fmt.Fprintf(&b, "  fault tolerance: %d timed out, %d panics recovered, %d resumed from checkpoint, %d cancelled\n",
+			t, p, rs, c)
+	}
 	fmt.Fprintf(&b, "  solver: %d solves, %d conflicts, %d decisions, %d propagations, %d budget exhaustions\n",
 		reg.CounterValue(telemetry.CtrSolves),
 		reg.CounterValue(telemetry.CtrConflicts),

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specrepair/internal/telemetry"
+)
+
+// artifactCSVs are the exports derived purely from scored results — the
+// files an interrupted-and-resumed run must reproduce byte for byte.
+// (phases.csv and the telemetry_* files carry wall-clock measurements and
+// are legitimately run-dependent.)
+var artifactCSVs = []string{"table1.csv", "fig2.csv", "fig3.csv", "table2.csv", "techstats.csv"}
+
+func writeArtifacts(t *testing.T, s *Study, dir string) {
+	t.Helper()
+	if err := s.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertSameArtifacts(t *testing.T, wantDir, gotDir string) {
+	t.Helper()
+	for _, name := range artifactCSVs {
+		want, err := os.ReadFile(filepath.Join(wantDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(gotDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s differs between the clean and the resumed run:\nclean:\n%s\nresumed:\n%s",
+				name, want, got)
+		}
+	}
+}
+
+// TestStudyInterruptAndResumeByteIdentical is the end-to-end acceptance test
+// for checkpoint/resume: a run cancelled partway through, resumed with the
+// same configuration, must produce byte-identical result artifacts to an
+// uninterrupted run.
+func TestStudyInterruptAndResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Seed: 7, Scale: 300, Workers: 2}
+
+	clean, err := RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanDir := filepath.Join(dir, "clean")
+	writeArtifacts(t, clean, cleanDir)
+
+	// Interrupted run: cancel the context between the two evaluations, as a
+	// SIGINT landing mid-run would. The journal then holds the complete A4F
+	// grid and nothing of ARepair, so the resumed run mixes journaled and
+	// freshly computed results.
+	ckptPath := filepath.Join(dir, "ckpt.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	icfg := cfg
+	icfg.CheckpointPath = ckptPath
+	icfg.Progress = func(msg string) {
+		if strings.Contains(msg, "ARepair specs") {
+			cancel()
+		}
+	}
+	if _, err := RunStudyContext(ctx, icfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+
+	// Resumed run: same config, -resume semantics.
+	reg := telemetry.New()
+	rcfg := cfg
+	rcfg.CheckpointPath = ckptPath
+	rcfg.Resume = true
+	rcfg.Telemetry = reg
+	resumed, err := RunStudyContext(context.Background(), rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedDir := filepath.Join(dir, "resumed")
+	writeArtifacts(t, resumed, resumedDir)
+	assertSameArtifacts(t, cleanDir, resumedDir)
+}
+
+// TestStudyResumeFullJournalReplaysEverything: resuming a completed run
+// re-derives every artifact from the journal alone.
+func TestStudyResumeFullJournalReplaysEverything(t *testing.T) {
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, "ckpt.jsonl")
+	cfg := Config{Seed: 7, Scale: 300, Workers: 2, CheckpointPath: ckptPath}
+
+	first, err := RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstDir := filepath.Join(dir, "first")
+	writeArtifacts(t, first, firstDir)
+
+	reg := telemetry.New()
+	cfg.Resume = true
+	cfg.Telemetry = reg
+	second, err := RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondDir := filepath.Join(dir, "second")
+	writeArtifacts(t, second, secondDir)
+	assertSameArtifacts(t, firstDir, secondDir)
+
+	if reg.CounterValue(telemetry.CtrJobResumed) == 0 {
+		t.Error("no jobs were served from the journal")
+	}
+	if reg.CounterValue(telemetry.CtrJobs) != 0 {
+		t.Error("jobs re-ran despite a complete journal")
+	}
+}
+
+// TestStudyCheckpointRefusedWithoutResume: a leftover journal must not be
+// silently clobbered.
+func TestStudyCheckpointRefusedWithoutResume(t *testing.T) {
+	ckptPath := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	if err := os.WriteFile(ckptPath, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RunStudy(Config{Seed: 7, Scale: 400, CheckpointPath: ckptPath})
+	if err == nil {
+		t.Fatal("existing checkpoint must be refused without Resume")
+	}
+}

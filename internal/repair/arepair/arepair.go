@@ -11,6 +11,7 @@
 package arepair
 
 import (
+	"context"
 	"fmt"
 
 	"specrepair/internal/alloy/ast"
@@ -62,7 +63,7 @@ var _ repair.Technique = (*Tool)(nil)
 func (t *Tool) Name() string { return "ARepair" }
 
 // Repair implements repair.Technique.
-func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
+func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, error) {
 	if p.Tests == nil || p.Tests.Len() == 0 {
 		return repair.Outcome{}, fmt.Errorf("ARepair requires an AUnit test suite for %q", p.Name)
 	}
@@ -80,8 +81,11 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 	}
 
 	for iter := 0; iter < t.opts.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		out.Stats.Iterations++
-		improved, cand, tried, err := t.improveOnce(current, p.Tests, best)
+		improved, cand, tried, err := t.improveOnce(ctx, current, p.Tests, best)
 		out.Stats.CandidatesTried += tried
 		out.Stats.TestRuns += tried
 		t.testRuns.Add(int64(tried))
@@ -106,7 +110,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 
 // improveOnce scans suspicious sites for a single mutation that strictly
 // increases the number of passing tests (greedy hill climbing).
-func (t *Tool) improveOnce(mod *ast.Module, suite *aunit.Suite, best int) (bool, *ast.Module, int, error) {
+func (t *Tool) improveOnce(ctx context.Context, mod *ast.Module, suite *aunit.Suite, best int) (bool, *ast.Module, int, error) {
 	ranked, err := t.localize(mod, suite)
 	if err != nil {
 		return false, nil, 0, err
@@ -134,11 +138,17 @@ func (t *Tool) improveOnce(mod *ast.Module, suite *aunit.Suite, best int) (bool,
 		if r.Score == 0 || sites >= t.opts.MaxSites {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return false, nil, tried, err
+		}
 		sites++
 		// Mutate every node within the suspicious conjunct.
 		for _, s := range eng.Sites() {
 			if !within(r.Site.Site, s.Site) {
 				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return false, nil, tried, err
 			}
 			for _, c := range eng.Candidates(s, t.opts.Budget) {
 				cand, err := eng.Apply(s.Site, c)

@@ -19,6 +19,7 @@
 package atr
 
 import (
+	"context"
 	"sort"
 
 	"specrepair/internal/alloy/ast"
@@ -89,10 +90,14 @@ var _ repair.Technique = (*Tool)(nil)
 func (t *Tool) Name() string { return "ATR" }
 
 // Repair implements repair.Technique.
-func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
+func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, error) {
 	out := repair.Outcome{}
 
-	ok, err := repair.OracleAllCommandsPass(t.an, p.Faulty)
+	// Context-bound analyzer for every analysis in this call, including the
+	// PMaxSAT nearest-instance solves.
+	an := t.an.WithContext(ctx)
+
+	ok, err := repair.OracleAllCommandsPass(ctx, t.an, p.Faulty)
 	out.Stats.AnalyzerCalls++
 	if err != nil {
 		return out, err
@@ -105,7 +110,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 
 	// Collect (counterexample, nearest satisfying instance) pairs per
 	// failing check.
-	pairs, err := t.instancePairs(p.Faulty)
+	pairs, err := t.instancePairs(ctx, an, p.Faulty)
 	if err != nil {
 		return out, err
 	}
@@ -143,10 +148,13 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 	// One incremental evaluation session spans the whole candidate stream
 	// (templates never touch signature paragraphs, so the shared bounds and
 	// learned clauses apply to every candidate).
-	oracle := t.an.Evaluator(p.Faulty)
+	oracle := an.Evaluator(p.Faulty)
 
 	seen := map[string]bool{printer.Module(p.Faulty): true}
 	for _, s := range sites {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		cands := eng.Candidates(s, t.opts.Budget)
 		for _, c := range cands {
 			if out.Stats.CandidatesTried >= t.opts.MaxCandidates {
@@ -172,6 +180,9 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 			pass, err := oracle.PassesAll(candMod)
 			out.Stats.AnalyzerCalls++
 			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return out, cerr
+				}
 				continue
 			}
 			if pass {
@@ -202,6 +213,9 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 			pass, err := oracle.PassesAll(candMod)
 			out.Stats.AnalyzerCalls++
 			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return out, cerr
+				}
 				continue
 			}
 			if pass {
@@ -221,7 +235,7 @@ type instancePair struct {
 
 // instancePairs finds, for each failing check command, the counterexample
 // and the PMaxSAT-nearest satisfying instance.
-func (t *Tool) instancePairs(mod *ast.Module) ([]instancePair, error) {
+func (t *Tool) instancePairs(ctx context.Context, an *analyzer.Analyzer, mod *ast.Module) ([]instancePair, error) {
 	low, info, err := types.Lower(mod)
 	if err != nil {
 		return nil, err
@@ -231,14 +245,14 @@ func (t *Tool) instancePairs(mod *ast.Module) ([]instancePair, error) {
 		if cmd.Kind != ast.CmdCheck {
 			continue
 		}
-		res, err := t.an.RunCommand(mod, cmd)
+		res, err := an.RunCommand(mod, cmd)
 		if err != nil {
 			return nil, err
 		}
 		if !res.Sat || res.Instance == nil {
 			continue
 		}
-		near, err := t.nearestSatisfying(low, info, cmd, res.Instance)
+		near, err := t.nearestSatisfying(ctx, low, info, cmd, res.Instance)
 		if err != nil || near == nil {
 			// No satisfying instance in scope; keep the counterexample for
 			// relation-level localization anyway.
@@ -254,12 +268,13 @@ func (t *Tool) instancePairs(mod *ast.Module) ([]instancePair, error) {
 // demand facts, implicit constraints, and the assertion all hold; soft
 // clauses prefer each relation-tuple variable to keep the value it has in
 // the counterexample.
-func (t *Tool) nearestSatisfying(low *ast.Module, info *types.Info, cmd *ast.Command, cex *instance.Instance) (*instance.Instance, error) {
+func (t *Tool) nearestSatisfying(ctx context.Context, low *ast.Module, info *types.Info, cmd *ast.Command, cex *instance.Instance) (*instance.Instance, error) {
 	b, err := bounds.Build(info, cmd.Scope)
 	if err != nil {
 		return nil, err
 	}
 	tr := translate.New(info, b)
+	tr.SetContext(ctx)
 
 	implicit, err := tr.ImplicitConstraints()
 	if err != nil {
@@ -285,6 +300,7 @@ func (t *Tool) nearestSatisfying(low *ast.Module, info *types.Info, cmd *ast.Com
 
 	ms := sat.NewMaxSolver(tr.NumVars())
 	ms.MaxConflicts = analyzer.DefaultMaxConflicts
+	ms.Context = ctx
 	ms.Telemetry = t.opts.Telemetry
 	cb := translate.NewCNFBuilder(ms, tr.NumVars())
 	cb.AddAssert(translate.And(parts...))

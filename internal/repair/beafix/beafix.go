@@ -16,6 +16,8 @@
 package beafix
 
 import (
+	"context"
+
 	"specrepair/internal/alloy/ast"
 	"specrepair/internal/alloy/printer"
 	"specrepair/internal/alloy/types"
@@ -89,10 +91,14 @@ var _ repair.Technique = (*Tool)(nil)
 func (t *Tool) Name() string { return "BeAFix" }
 
 // Repair implements repair.Technique.
-func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
+func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, error) {
 	out := repair.Outcome{}
 
-	ok, err := repair.OracleAllCommandsPass(t.an, p.Faulty)
+	// Every analysis below — oracle checks, instance collection, candidate
+	// validation — runs on this context-bound analyzer.
+	an := t.an.WithContext(ctx)
+
+	ok, err := repair.OracleAllCommandsPass(ctx, t.an, p.Faulty)
 	out.Stats.AnalyzerCalls++
 	if err != nil {
 		return out, err
@@ -103,15 +109,19 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 		return out, nil
 	}
 
-	failing, passing, err := faultloc.CollectInstances(t.an, p.Faulty)
+	failing, passing, err := faultloc.CollectInstances(an, p.Faulty)
 	out.Stats.AnalyzerCalls += 2 * len(p.Faulty.Commands)
 	if err != nil {
 		return out, err
 	}
 
-	// Suspicious sites (or all formula sites when pruning is off).
+	// Suspicious sites (or all formula sites when pruning is off). The
+	// no-signal fallback to exhaustive search is job-local: mutating the
+	// shared options here would disable pruning for every later job on this
+	// worker, making results depend on job-to-worker scheduling.
+	pruning := !t.opts.DisablePruning
 	suspicious := map[string]bool{}
-	if !t.opts.DisablePruning {
+	if pruning {
 		ranked, err := faultloc.Localize(p.Faulty, failing, passing)
 		if err != nil {
 			return out, err
@@ -123,7 +133,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 		}
 		// No signal: fall back to exhaustive.
 		if len(suspicious) == 0 {
-			t.opts.DisablePruning = true
+			pruning = false
 		}
 	}
 
@@ -135,7 +145,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 	// One incremental evaluation session spans the whole candidate stream:
 	// every mutant shares the base's signatures, so bounds, relation
 	// variables, and learned clauses carry over between validations.
-	oracle := t.an.Evaluator(p.Faulty)
+	oracle := an.Evaluator(p.Faulty)
 
 	// Breadth-first over mutation depth: each frontier entry is a module.
 	frontier := []*ast.Module{p.Faulty.Clone()}
@@ -149,7 +159,10 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 				continue
 			}
 			for _, s := range eng.Sites() {
-				if !t.opts.DisablePruning && depth == 1 && !t.siteAllowed(s, suspicious) {
+				if err := ctx.Err(); err != nil {
+					return out, err
+				}
+				if pruning && depth == 1 && !t.siteAllowed(s, suspicious) {
 					continue
 				}
 				for _, c := range eng.Candidates(s, t.opts.Budget) {
@@ -170,7 +183,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 						continue
 					}
 					// Counterexample screening.
-					if !t.opts.DisablePruning && !t.changesOnInstances(low, cand, s, c, failing) {
+					if pruning && !t.changesOnInstances(low, cand, s, c, failing) {
 						continue
 					}
 					out.Stats.CandidatesTried++
@@ -178,6 +191,9 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 					pass, err := oracle.PassesAll(cand)
 					out.Stats.AnalyzerCalls++
 					if err != nil {
+						if cerr := ctx.Err(); cerr != nil {
+							return out, cerr
+						}
 						continue
 					}
 					if pass {
@@ -209,6 +225,9 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 					pass, err := oracle.PassesAll(cand)
 					out.Stats.AnalyzerCalls++
 					if err != nil {
+						if cerr := ctx.Err(); cerr != nil {
+							return out, cerr
+						}
 						continue
 					}
 					if pass {

@@ -8,6 +8,7 @@
 package icebar
 
 import (
+	"context"
 	"fmt"
 
 	"specrepair/internal/alloy/ast"
@@ -83,8 +84,12 @@ var _ repair.Technique = (*Tool)(nil)
 func (t *Tool) Name() string { return "ICEBAR" }
 
 // Repair implements repair.Technique.
-func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
+func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, error) {
 	out := repair.Outcome{}
+
+	// One context-bound analyzer serves the whole call: oracle checks, suite
+	// refinement, and the incremental evaluator all abort when ctx expires.
+	an := t.an.WithContext(ctx)
 
 	suite := &aunit.Suite{}
 	if p.Tests != nil {
@@ -93,11 +98,11 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 
 	// Seed the suite from the oracle before the first ARepair run, so the
 	// inner tool has signal even when no tests were provided.
-	if added, err := t.refineSuite(p.Faulty, suite, 0); err != nil {
+	if added, err := t.refineSuite(an, p.Faulty, suite, 0); err != nil {
 		return out, err
 	} else if !added && suite.Len() == 0 {
 		// Oracle already satisfied and no tests: nothing to repair.
-		ok, err := repair.OracleAllCommandsPass(t.an, p.Faulty)
+		ok, err := repair.OracleAllCommandsPass(ctx, t.an, p.Faulty)
 		out.Stats.AnalyzerCalls++
 		if err != nil {
 			return out, err
@@ -120,13 +125,16 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 	// formula paragraphs, so translation and learned clauses carry over.
 	// Suite refinement (refineSuite) stays on the fresh path — it needs the
 	// concrete instances the fresh analyzer would produce.
-	oracle := t.an.Evaluator(p.Faulty)
+	oracle := an.Evaluator(p.Faulty)
 
 	current := p.Faulty
 	for iter := 0; iter < t.opts.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		out.Stats.Iterations++
 		t.iterations.Inc()
-		innerOut, err := t.inner.Repair(repair.Problem{
+		innerOut, err := t.inner.Repair(ctx, repair.Problem{
 			Name:   p.Name,
 			Faulty: current,
 			Tests:  suite,
@@ -154,7 +162,7 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 		}
 
 		// Overfit: harvest counterexamples of the candidate into tests.
-		added, err := t.refineSuite(cand, suite, iter+1)
+		added, err := t.refineSuite(an, cand, suite, iter+1)
 		if err != nil {
 			return out, err
 		}
@@ -174,8 +182,8 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 // into "this instance must be rejected" tests, plus passing witnesses into
 // "this instance must stay accepted" tests. It reports whether any test was
 // added.
-func (t *Tool) refineSuite(mod *ast.Module, suite *aunit.Suite, round int) (bool, error) {
-	results, err := t.an.ExecuteAll(mod)
+func (t *Tool) refineSuite(an *analyzer.Analyzer, mod *ast.Module, suite *aunit.Suite, round int) (bool, error) {
+	results, err := an.ExecuteAll(mod)
 	if err != nil {
 		return false, err
 	}
@@ -205,7 +213,7 @@ func (t *Tool) refineSuite(mod *ast.Module, suite *aunit.Suite, round int) (bool
 				Scope:  cmd.Scope.Clone(),
 				Expect: -1,
 			}}
-			wres, werr := t.an.ExecuteAll(witness)
+			wres, werr := an.ExecuteAll(witness)
 			if werr == nil && len(wres) == 1 && wres[0].Sat {
 				test := aunit.FromInstance(
 					fmt.Sprintf("icebar_wit_%s_r%d", cmd.Name, round),

@@ -1,6 +1,7 @@
 package repair_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestSingleRoundWithLocFixHints(t *testing.T) {
 	model.GarbageNoise = 0
 	model.WildNoise = 0
 	tool := singleround.New(singleround.Options{Setting: singleround.SettingLocFix, Client: model})
-	out, err := tool.Repair(llmProblem(t))
+	out, err := tool.Repair(context.Background(), llmProblem(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestSingleRoundSettingsNames(t *testing.T) {
 
 func TestSingleRoundRequiresClient(t *testing.T) {
 	tool := singleround.New(singleround.Options{Setting: singleround.SettingNone})
-	if _, err := tool.Repair(llmProblem(t)); err == nil {
+	if _, err := tool.Repair(context.Background(), llmProblem(t)); err == nil {
 		t.Error("expected error without a client")
 	}
 }
@@ -62,7 +63,7 @@ func TestMultiRoundRepairs(t *testing.T) {
 		model := llm.NewSimulatedModel(202)
 		model.GarbageNoise = 0
 		tool := multiround.New(multiround.Options{Feedback: fb, Client: model, Rounds: 6})
-		out, err := tool.Repair(llmProblem(t))
+		out, err := tool.Repair(context.Background(), llmProblem(t))
 		if err != nil {
 			t.Fatalf("%s: %v", tool.Name(), err)
 		}
@@ -95,7 +96,7 @@ func TestMultiRoundIterationBudget(t *testing.T) {
 		Rounds:   3,
 		Client:   garbageClient{},
 	})
-	out, err := tool.Repair(llmProblem(t))
+	out, err := tool.Repair(context.Background(), llmProblem(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestMultiRoundAutoInvokesPromptAgent(t *testing.T) {
 	model.WildNoise = 1.0 // force bad first picks so feedback rounds happen
 	rec := &transcriptClient{inner: model}
 	tool := multiround.New(multiround.Options{Feedback: llm.FeedbackAuto, Client: rec, Rounds: 3})
-	if _, err := tool.Repair(llmProblem(t)); err != nil {
+	if _, err := tool.Repair(context.Background(), llmProblem(t)); err != nil {
 		t.Fatal(err)
 	}
 	sawPromptAgent := false
@@ -149,7 +150,7 @@ func TestMultiRoundGenericFeedbackCarriesCounterexample(t *testing.T) {
 	model.WildNoise = 1.0
 	rec := &transcriptClient{inner: model}
 	tool := multiround.New(multiround.Options{Feedback: llm.FeedbackGeneric, Client: rec, Rounds: 3})
-	if _, err := tool.Repair(llmProblem(t)); err != nil {
+	if _, err := tool.Repair(context.Background(), llmProblem(t)); err != nil {
 		t.Fatal(err)
 	}
 	sawCex := false

@@ -8,6 +8,7 @@
 package multiround
 
 import (
+	"context"
 	"fmt"
 
 	"specrepair/internal/alloy/ast"
@@ -71,11 +72,13 @@ var _ repair.Technique = (*Tool)(nil)
 func (t *Tool) Name() string { return "Multi-Round_" + t.opts.Feedback.String() }
 
 // Repair implements repair.Technique.
-func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
+func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, error) {
 	out := repair.Outcome{}
 	if t.opts.Client == nil {
 		return out, fmt.Errorf("multi-round: no LLM client configured")
 	}
+
+	an := t.an.WithContext(ctx)
 
 	msgs := []llm.Message{
 		{Role: llm.RoleSystem, Content: llm.RepairSystemPrompt},
@@ -84,6 +87,9 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 
 	var best *ast.Module
 	for round := 0; round < t.opts.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		out.Stats.Iterations++
 		t.rounds.Inc()
 		reply, err := t.opts.Client.Complete(msgs)
@@ -99,8 +105,13 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 			feedback = llm.BuildNoFeedback()
 		} else {
 			best = cand
-			failed, cex, pass, err := t.validate(cand)
+			failed, cex, pass, err := t.validate(an, cand)
 			out.Stats.AnalyzerCalls++
+			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return out, cerr
+				}
+			}
 			if err == nil && pass {
 				out.Repaired = true
 				out.Candidate = cand
@@ -131,8 +142,8 @@ func (t *Tool) parseCandidate(reply string) *ast.Module {
 
 // validate runs all commands, returning the failing command names and the
 // first counterexample (or unexpected instance witness).
-func (t *Tool) validate(cand *ast.Module) (failed []string, cex *instance.Instance, pass bool, err error) {
-	results, err := t.an.ExecuteAll(cand)
+func (t *Tool) validate(an *analyzer.Analyzer, cand *ast.Module) (failed []string, cex *instance.Instance, pass bool, err error) {
+	results, err := an.ExecuteAll(cand)
 	if err != nil {
 		return nil, nil, false, err
 	}

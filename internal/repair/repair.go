@@ -4,6 +4,8 @@
 package repair
 
 import (
+	"context"
+
 	"specrepair/internal/alloy/ast"
 	"specrepair/internal/analyzer"
 	"specrepair/internal/aunit"
@@ -68,8 +70,10 @@ type Technique interface {
 	// Name returns the technique's display name as used in the paper's
 	// tables (e.g. "ARepair", "Multi-Round_Generic").
 	Name() string
-	// Repair attempts to fix the problem.
-	Repair(p Problem) (Outcome, error)
+	// Repair attempts to fix the problem. When ctx is cancelled the
+	// technique abandons the search and returns the context's error;
+	// partial progress is discarded, never reported as a repair.
+	Repair(ctx context.Context, p Problem) (Outcome, error)
 }
 
 // OracleAllCommandsPass reports whether every command of the module meets
@@ -81,6 +85,6 @@ type Technique interface {
 // incremental SAT session shared by the whole candidate stream. ARepair has
 // no analyzer oracle at all — its oracle is the AUnit test suite — and
 // participates in incremental evaluation only through ICEBAR's wrapper.
-func OracleAllCommandsPass(a *analyzer.Analyzer, mod *ast.Module) (bool, error) {
-	return a.PassesAll(mod)
+func OracleAllCommandsPass(ctx context.Context, a *analyzer.Analyzer, mod *ast.Module) (bool, error) {
+	return a.WithContext(ctx).PassesAll(mod)
 }

@@ -1,6 +1,7 @@
 package repair_test
 
 import (
+	"context"
 	"testing"
 
 	"specrepair/internal/alloy/ast"
@@ -99,7 +100,7 @@ func assertEquisatWithGT(t *testing.T, cand *ast.Module) {
 
 func TestARepairFixesWithTests(t *testing.T) {
 	tool := arepair.New(arepair.Options{})
-	out, err := tool.Repair(problem(t))
+	out, err := tool.Repair(context.Background(), problem(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestARepairFixesWithTests(t *testing.T) {
 
 func TestARepairRequiresTests(t *testing.T) {
 	tool := arepair.New(arepair.Options{})
-	_, err := tool.Repair(repair.Problem{Name: "x", Faulty: mustParse(t, faultySrc)})
+	_, err := tool.Repair(context.Background(), repair.Problem{Name: "x", Faulty: mustParse(t, faultySrc)})
 	if err == nil {
 		t.Error("ARepair without tests should error")
 	}
@@ -130,7 +131,7 @@ func TestARepairAlreadyPassing(t *testing.T) {
 		Tests:  testSuite(),
 	}
 	// All three tests pass on the ground truth.
-	out, err := tool.Repair(p)
+	out, err := tool.Repair(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestARepairAlreadyPassing(t *testing.T) {
 
 func TestBeAFixRepairsAgainstPropertyOracle(t *testing.T) {
 	tool := beafix.New(beafix.Options{})
-	out, err := tool.Repair(repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
+	out, err := tool.Repair(context.Background(), repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestBeAFixRepairsAgainstPropertyOracle(t *testing.T) {
 
 func TestBeAFixWithoutPruning(t *testing.T) {
 	tool := beafix.New(beafix.Options{DisablePruning: true})
-	out, err := tool.Repair(repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
+	out, err := tool.Repair(context.Background(), repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,11 +167,11 @@ func TestBeAFixWithoutPruning(t *testing.T) {
 func TestBeAFixPruningReducesWork(t *testing.T) {
 	pruned := beafix.New(beafix.Options{})
 	unpruned := beafix.New(beafix.Options{DisablePruning: true})
-	outP, err := pruned.Repair(repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
+	outP, err := pruned.Repair(context.Background(), repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	outU, err := unpruned.Repair(repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
+	outU, err := unpruned.Repair(context.Background(), repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestBeAFixPruningReducesWork(t *testing.T) {
 
 func TestBeAFixAlreadyCorrect(t *testing.T) {
 	tool := beafix.New(beafix.Options{})
-	out, err := tool.Repair(repair.Problem{Name: "ok", Faulty: mustParse(t, groundTruthSrc)})
+	out, err := tool.Repair(context.Background(), repair.Problem{Name: "ok", Faulty: mustParse(t, groundTruthSrc)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestBeAFixAlreadyCorrect(t *testing.T) {
 
 func TestICEBARRepairsViaIteration(t *testing.T) {
 	tool := icebar.New(icebar.Options{})
-	out, err := tool.Repair(repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
+	out, err := tool.Repair(context.Background(), repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestICEBARRepairsViaIteration(t *testing.T) {
 
 func TestICEBARUsesProvidedTests(t *testing.T) {
 	tool := icebar.New(icebar.Options{})
-	out, err := tool.Repair(problem(t))
+	out, err := tool.Repair(context.Background(), problem(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestICEBARUsesProvidedTests(t *testing.T) {
 
 func TestATRRepairs(t *testing.T) {
 	tool := atr.New(atr.Options{})
-	out, err := tool.Repair(repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
+	out, err := tool.Repair(context.Background(), repair.Problem{Name: "noself", Faulty: mustParse(t, faultySrc)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestATRRepairs(t *testing.T) {
 
 func TestATRAlreadyCorrect(t *testing.T) {
 	tool := atr.New(atr.Options{})
-	out, err := tool.Repair(repair.Problem{Name: "ok", Faulty: mustParse(t, groundTruthSrc)})
+	out, err := tool.Repair(context.Background(), repair.Problem{Name: "ok", Faulty: mustParse(t, groundTruthSrc)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestBeAFixWrongRelation(t *testing.T) {
 	// The assertion fails because nothing constrains boss; the fix space
 	// includes mutating Bug to speak about boss.
 	tool := beafix.New(beafix.Options{})
-	out, err := tool.Repair(repair.Problem{Name: "wrongrel", Faulty: mustParse(t, wrongRelSrc)})
+	out, err := tool.Repair(context.Background(), repair.Problem{Name: "wrongrel", Faulty: mustParse(t, wrongRelSrc)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestBeAFixWrongRelation(t *testing.T) {
 	}
 	// The repaired module must make the check pass.
 	a := analyzer.New(analyzer.Options{})
-	ok, err := repair.OracleAllCommandsPass(a, out.Candidate)
+	ok, err := repair.OracleAllCommandsPass(context.Background(), a, out.Candidate)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,8 +280,8 @@ func TestOutcomesDeterministic(t *testing.T) {
 		func() repair.Technique { return atr.New(atr.Options{}) },
 	} {
 		t1, t2 := mk(), mk()
-		o1, err1 := t1.Repair(repair.Problem{Name: "d", Faulty: mustParse(t, faultySrc)})
-		o2, err2 := t2.Repair(repair.Problem{Name: "d", Faulty: mustParse(t, faultySrc)})
+		o1, err1 := t1.Repair(context.Background(), repair.Problem{Name: "d", Faulty: mustParse(t, faultySrc)})
+		o2, err2 := t2.Repair(context.Background(), repair.Problem{Name: "d", Faulty: mustParse(t, faultySrc)})
 		if err1 != nil || err2 != nil {
 			t.Fatal(err1, err2)
 		}
@@ -296,14 +297,14 @@ func TestOutcomesDeterministic(t *testing.T) {
 
 func TestOracleAllCommandsPass(t *testing.T) {
 	a := analyzer.New(analyzer.Options{})
-	ok, err := repair.OracleAllCommandsPass(a, mustParse(t, groundTruthSrc))
+	ok, err := repair.OracleAllCommandsPass(context.Background(), a, mustParse(t, groundTruthSrc))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ok {
 		t.Error("ground truth should pass its own oracle")
 	}
-	ok, err = repair.OracleAllCommandsPass(a, mustParse(t, faultySrc))
+	ok, err = repair.OracleAllCommandsPass(context.Background(), a, mustParse(t, faultySrc))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package singleround
 
 import (
+	"context"
 	"fmt"
 
 	"specrepair/internal/alloy/parser"
@@ -83,10 +84,13 @@ var _ repair.Technique = (*Tool)(nil)
 func (t *Tool) Name() string { return "Single-Round_" + t.opts.Setting.String() }
 
 // Repair implements repair.Technique.
-func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
+func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, error) {
 	out := repair.Outcome{}
 	if t.opts.Client == nil {
 		return out, fmt.Errorf("single-round: no LLM client configured")
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
 	}
 
 	var promptOpts llm.PromptOptions
@@ -125,9 +129,12 @@ func (t *Tool) Repair(p repair.Problem) (repair.Outcome, error) {
 	}
 	out.Candidate = cand
 
-	pass, err := repair.OracleAllCommandsPass(t.an, cand)
+	pass, err := repair.OracleAllCommandsPass(ctx, t.an, cand)
 	out.Stats.AnalyzerCalls++
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return out, cerr
+		}
 		return out, nil
 	}
 	out.Repaired = pass

@@ -1,0 +1,54 @@
+package sat
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSolveCancelledContextReturnsUnknown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewSolver(Options{Context: ctx})
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	if st := s.Solve(); st != StatusUnknown {
+		t.Fatalf("status = %v, want Unknown under a cancelled context", st)
+	}
+}
+
+func TestSolveLiveContextIsTransparent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := NewSolver(Options{Context: ctx})
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	s.AddClause(NegLit(a))
+	if st := s.Solve(); st != StatusSat {
+		t.Fatalf("status = %v, want Sat under a live context", st)
+	}
+	if !s.ModelValue(b) || s.ModelValue(a) {
+		t.Errorf("model: a=%v b=%v, want a=false b=true", s.ModelValue(a), s.ModelValue(b))
+	}
+}
+
+func TestSolveCancellationDoesNotCorruptSolver(t *testing.T) {
+	// A solve aborted by cancellation must leave the solver reusable: the
+	// documented contract is Unknown now, correct answers later. The context
+	// is checked through the options pointer, so flipping the field between
+	// calls models a job context expiring and a fresh one arriving.
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewSolver(Options{Context: ctx})
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	cancel()
+	if st := s.Solve(); st != StatusUnknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	s.opts.Context = context.Background()
+	if st := s.Solve(); st != StatusSat {
+		t.Fatalf("status after revival = %v, want Sat", st)
+	}
+	if !s.ModelValue(a) {
+		t.Error("model lost after a cancelled solve")
+	}
+}

@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"sort"
 
 	"specrepair/internal/telemetry"
@@ -25,6 +26,10 @@ type MaxSolver struct {
 	soft    []SoftClause
 	// MaxConflicts bounds each underlying SAT call; 0 means unlimited.
 	MaxConflicts int64
+	// Context, when non-nil, cancels the underlying SAT searches; an
+	// expired context makes the linear search return the best model found
+	// so far (or StatusUnknown when none was).
+	Context context.Context
 	// Telemetry is handed to every underlying SAT solver, so each
 	// iteration of the linear search records its own solve.
 	Telemetry *telemetry.Collector
@@ -116,7 +121,7 @@ func (m *MaxSolver) Solve() Result {
 }
 
 func (m *MaxSolver) buildSolver() *Solver {
-	s := NewSolver(Options{MaxConflicts: m.MaxConflicts, Telemetry: m.Telemetry})
+	s := NewSolver(Options{MaxConflicts: m.MaxConflicts, Context: m.Context, Telemetry: m.Telemetry})
 	for s.NumVars() < m.numVars {
 		s.NewVar()
 	}

@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -13,6 +14,12 @@ type Options struct {
 	// MaxConflicts aborts the search with StatusUnknown after this many
 	// conflicts; 0 means unlimited.
 	MaxConflicts int64
+	// Context, when non-nil, cancels in-flight searches: Solve polls it every
+	// ctxPollMask+1 conflicts (and at every restart boundary) and returns
+	// StatusUnknown once the context is done. Cancellation never corrupts the
+	// solver — a later Solve under a live context picks up where learning
+	// left off. Nil means never cancelled.
+	Context context.Context
 	// DisableLearning turns off clause learning (the solver still backtracks
 	// chronologically on conflicts). Used by the ablation benchmarks.
 	DisableLearning bool
@@ -502,9 +509,22 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	return st
 }
 
+// ctxPollMask throttles context checks to one every 1024 conflicts: frequent
+// enough that a cancelled job stops within milliseconds of solver time, rare
+// enough that the check never shows up in profiles.
+const ctxPollMask = 1024 - 1
+
+// cancelled reports whether the configured context (if any) is done.
+func (s *Solver) cancelled() bool {
+	return s.opts.Context != nil && s.opts.Context.Err() != nil
+}
+
 func (s *Solver) solve(assumptions []Lit) Status {
 	if s.unsatisfiable {
 		return StatusUnsat
+	}
+	if s.cancelled() {
+		return StatusUnknown
 	}
 	defer s.cancelUntil(0)
 
@@ -531,6 +551,9 @@ func (s *Solver) solve(assumptions []Lit) Status {
 			return st
 		}
 		if s.conflictLimit > 0 && s.Conflicts >= s.conflictLimit {
+			return StatusUnknown
+		}
+		if s.cancelled() {
 			return StatusUnknown
 		}
 	}
@@ -654,6 +677,11 @@ func (s *Solver) search(assumptions []Lit, budget int64) Status {
 				// already passed this point) stay UNSAT.
 				s.unsatisfiable = true
 				return StatusUnsat
+			}
+			// Deadline/cancellation poll, amortized over many conflicts. The
+			// definitive root-level verdict above still wins when both hold.
+			if s.Conflicts&ctxPollMask == 0 && s.cancelled() {
+				return StatusUnknown
 			}
 			if s.opts.DisableLearning {
 				// Chronological backtracking: flip the last decision.

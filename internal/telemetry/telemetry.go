@@ -28,6 +28,15 @@ const (
 	CtrJobsRepaired = "jobs.repaired"
 	CtrJobsErrored  = "jobs.errored"
 
+	// Fault-tolerance counters: jobs cut off by the per-job deadline, jobs
+	// whose technique panicked (recovered and attributed), jobs restored from
+	// a resume checkpoint without re-running, and jobs abandoned because the
+	// whole run was cancelled.
+	CtrJobTimeouts  = "job.timeouts"
+	CtrJobPanics    = "job.panics_recovered"
+	CtrJobResumed   = "job.resumed"
+	CtrJobCancelled = "job.cancelled"
+
 	CtrSolves          = "sat.solves"
 	CtrConflicts       = "sat.conflicts"
 	CtrDecisions       = "sat.decisions"

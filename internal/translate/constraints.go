@@ -14,6 +14,9 @@ import (
 // typing and field multiplicities (including primed shadows), plus prefix
 // symmetry breaking on top-level signature blocks.
 func (tr *Translator) ImplicitConstraints() (Node, error) {
+	if err := tr.ctxErr(); err != nil {
+		return nil, err
+	}
 	var parts []Node
 
 	add := func(n Node) { parts = append(parts, n) }

@@ -1,6 +1,7 @@
 package translate
 
 import (
+	"context"
 	"fmt"
 
 	"specrepair/internal/alloy/ast"
@@ -41,6 +42,13 @@ type Translator struct {
 	// while relation variables stay those of the shared base translation.
 	callMod *ast.Module
 
+	// ctx, when non-nil, aborts long translations: the entry points and the
+	// grounding recursion poll it and return its error once it is done.
+	// Grounding is the only place translation time can blow up combinatorially
+	// (nested quantifiers over large scopes), so per-node checks elsewhere
+	// would be pure overhead.
+	ctx context.Context
+
 	// closureMemo caches the matrices of environment-independent (reflexive)
 	// transitive closures, keyed by operator and printed operand. Closure is
 	// the most expensive matrix operation (iterated squaring), its operands
@@ -56,6 +64,17 @@ type Translator struct {
 // translation (nil restores the default, Info.Module). Only name lookup is
 // affected; bounds and relation variables are unchanged.
 func (tr *Translator) SetCallModule(m *ast.Module) { tr.callMod = m }
+
+// SetContext installs a cancellation context (nil disables checks). A cancelled
+// translation returns the context's error; the translator itself stays valid.
+func (tr *Translator) SetContext(ctx context.Context) { tr.ctx = ctx }
+
+func (tr *Translator) ctxErr() error {
+	if tr.ctx != nil {
+		return tr.ctx.Err()
+	}
+	return nil
+}
 
 // New allocates relation variables for every relation in the bounds.
 func New(info *types.Info, b *bounds.Bounds) *Translator {
@@ -111,6 +130,9 @@ func (tr *Translator) RelMatrix(name string) (Matrix, bool) {
 
 // Formula translates a formula to a circuit node.
 func (tr *Translator) Formula(e ast.Expr, env Env) (Node, error) {
+	if err := tr.ctxErr(); err != nil {
+		return nil, err
+	}
 	if env == nil {
 		env = Env{}
 	}
@@ -127,6 +149,9 @@ func (tr *Translator) Formula(e ast.Expr, env Env) (Node, error) {
 
 // Expr translates a relational expression to a matrix.
 func (tr *Translator) Expr(e ast.Expr, env Env) (Matrix, error) {
+	if err := tr.ctxErr(); err != nil {
+		return Matrix{}, err
+	}
 	if env == nil {
 		env = Env{}
 	}
@@ -553,6 +578,9 @@ func (tr *Translator) ground(decls []*ast.Decl, env Env) ([]groundBinding, error
 	out := []groundBinding{}
 	var rec func(i int, env Env, guard Node, chosen map[string]uint64) error
 	rec = func(i int, env Env, guard Node, chosen map[string]uint64) error {
+		if err := tr.ctxErr(); err != nil {
+			return err
+		}
 		if i == len(flat) {
 			out = append(out, groundBinding{env: env, guard: guard})
 			return nil
