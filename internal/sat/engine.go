@@ -1,0 +1,22 @@
+package sat
+
+// Engine is the solving interface shared by a single *Solver and a
+// *Portfolio, so callers (the analyzer's per-scope sessions) can swap one
+// for the other. It matches translate.ClauseSink plus the solve/model/stats
+// surface the analyzer uses.
+type Engine interface {
+	NewVar() int
+	Grow(n int)
+	AddClause(lits ...Lit) bool
+	NumVars() int
+	NumClauses() int
+	Solve(assumptions ...Lit) Status
+	Model() []Tribool
+	ModelValue(v int) bool
+	Stats() Stats
+}
+
+var (
+	_ Engine = (*Solver)(nil)
+	_ Engine = (*Portfolio)(nil)
+)

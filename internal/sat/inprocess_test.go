@@ -1,0 +1,355 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// allFrozen marks every variable frozen, isolating subsumption and
+// propagation from variable elimination in the unit tests.
+func allFrozen(n int) []bool {
+	f := make([]bool, n)
+	for i := range f {
+		f[i] = true
+	}
+	return f
+}
+
+func hasClause(clauses [][]Lit, want []Lit) bool {
+	for _, cl := range clauses {
+		if len(cl) != len(want) {
+			continue
+		}
+		match := true
+		for i := range cl {
+			if cl[i] != want[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func TestInprocessSubsumption(t *testing.T) {
+	a, b, c := 0, 1, 2
+	cnf := [][]Lit{
+		{PosLit(a), PosLit(b)},
+		{PosLit(a), PosLit(b), PosLit(c)},
+	}
+	ip := Inprocess(3, cnf, allFrozen(3), InprocessOptions{})
+	if ip.Unsat {
+		t.Fatal("unexpected UNSAT")
+	}
+	if ip.Stats.Subsumed != 1 {
+		t.Errorf("Subsumed = %d, want 1", ip.Stats.Subsumed)
+	}
+	if !hasClause(ip.Clauses, []Lit{PosLit(a), PosLit(b)}) {
+		t.Errorf("subsuming clause missing from %v", ip.Clauses)
+	}
+	if hasClause(ip.Clauses, []Lit{PosLit(a), PosLit(b), PosLit(c)}) {
+		t.Errorf("subsumed clause survived: %v", ip.Clauses)
+	}
+}
+
+func TestInprocessSelfSubsumption(t *testing.T) {
+	a, b, c := 0, 1, 2
+	// Resolving (a ∨ b) with (¬a ∨ b ∨ c) on a yields (b ∨ c): the second
+	// clause strengthens to it (drops ¬a).
+	cnf := [][]Lit{
+		{PosLit(a), PosLit(b)},
+		{NegLit(a), PosLit(b), PosLit(c)},
+	}
+	ip := Inprocess(3, cnf, allFrozen(3), InprocessOptions{})
+	if ip.Unsat {
+		t.Fatal("unexpected UNSAT")
+	}
+	if ip.Stats.Strengthened == 0 {
+		t.Error("expected at least one strengthening")
+	}
+	for _, cl := range ip.Clauses {
+		if containsLit(cl, NegLit(a)) && containsLit(cl, PosLit(c)) {
+			t.Errorf("clause %v should have dropped ¬a", cl)
+		}
+	}
+}
+
+func TestInprocessUnitFixpoint(t *testing.T) {
+	a, b, c := 0, 1, 2
+	cnf := [][]Lit{
+		{PosLit(a)},
+		{NegLit(a), PosLit(b)},
+		{NegLit(b), PosLit(c)},
+	}
+	ip := Inprocess(3, cnf, allFrozen(3), InprocessOptions{})
+	if ip.Unsat {
+		t.Fatal("unexpected UNSAT")
+	}
+	if ip.Stats.UnitsFixed != 3 {
+		t.Errorf("UnitsFixed = %d, want 3", ip.Stats.UnitsFixed)
+	}
+	// All three variables must be emitted as unit clauses so assumption
+	// conflicts still surface in a solver over the simplified CNF.
+	for _, want := range [][]Lit{{PosLit(a)}, {PosLit(b)}, {PosLit(c)}} {
+		if !hasClause(ip.Clauses, want) {
+			t.Errorf("missing unit %v in %v", want, ip.Clauses)
+		}
+	}
+}
+
+func TestInprocessUnitConflict(t *testing.T) {
+	a := 0
+	ip := Inprocess(1, [][]Lit{{PosLit(a)}, {NegLit(a)}}, nil, InprocessOptions{})
+	if !ip.Unsat {
+		t.Error("conflicting units should refute")
+	}
+}
+
+func TestInprocessBVE(t *testing.T) {
+	v, a, b := 0, 1, 2
+	// v occurs once per polarity: eliminated, resolvent (a ∨ b) remains.
+	cnf := [][]Lit{
+		{PosLit(v), PosLit(a)},
+		{NegLit(v), PosLit(b)},
+	}
+	ip := Inprocess(3, cnf, nil, InprocessOptions{})
+	if ip.Unsat {
+		t.Fatal("unexpected UNSAT")
+	}
+	if ip.Stats.VarsEliminated == 0 {
+		t.Fatal("expected variable elimination")
+	}
+	for _, cl := range ip.Clauses {
+		for _, l := range cl {
+			if l.Var() == v {
+				t.Fatalf("eliminated variable still occurs in %v", cl)
+			}
+		}
+	}
+	// A model of the simplified CNF must reconstruct to a model of the
+	// original. Force the nasty case a=false: then v must come back true.
+	model := make([]Tribool, 3)
+	model[a] = False
+	model[b] = True
+	full := ip.Reconstruct(model)
+	checkModel(t, cnf, full)
+}
+
+func TestInprocessPureLiteral(t *testing.T) {
+	v, a, b := 0, 1, 2
+	// v occurs only positively (and the clauses share no other resolvable
+	// structure): pure, so both clauses are removable with v on the
+	// reconstruction stack.
+	cnf := [][]Lit{
+		{PosLit(v), PosLit(a), PosLit(b)},
+		{PosLit(v), NegLit(a), NegLit(b)},
+	}
+	ip := Inprocess(3, cnf, nil, InprocessOptions{})
+	if ip.Unsat {
+		t.Fatal("unexpected UNSAT")
+	}
+	if ip.Stats.VarsEliminated == 0 {
+		t.Error("pure literal should be eliminated")
+	}
+	// Reconstruction from an arbitrary assignment of the surviving vars must
+	// set v so the original clauses hold (here: v=true, both falsifiable
+	// without it).
+	model := make([]Tribool, 3)
+	model[a] = True
+	model[b] = False
+	checkModel(t, cnf, ip.Reconstruct(model))
+}
+
+func TestInprocessFrozenRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 50; iter++ {
+		numVars := 6 + rng.Intn(10)
+		cnf := randomCNF(rng, numVars, numVars*3, 3)
+		frozen := make([]bool, numVars)
+		var keep []int
+		for v := 0; v < numVars; v++ {
+			if rng.Intn(3) == 0 {
+				frozen[v] = true
+				keep = append(keep, v)
+			}
+		}
+		ip := Inprocess(numVars, cnf, frozen, InprocessOptions{})
+		if ip.Unsat {
+			continue
+		}
+		// Frozen variables may be fixed by propagation (emitted as units)
+		// but must never be resolved away.
+		for _, rec := range ip.elims {
+			if frozen[rec.v] {
+				t.Fatalf("iter %d: frozen var %d eliminated", iter, rec.v)
+			}
+		}
+		_ = keep
+	}
+}
+
+// TestInprocessDifferential is the core soundness guard: over random 3-SAT
+// instances around the phase transition, solving the simplified CNF must
+// give the same verdict as solving the original, and reconstructed models
+// must satisfy the original clauses.
+func TestInprocessDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 300; iter++ {
+		numVars := 5 + rng.Intn(14)
+		numClauses := int(float64(numVars) * (2.0 + rng.Float64()*3.0))
+		cnf := randomCNF(rng, numVars, numClauses, 3)
+
+		direct := NewSolver(Options{})
+		for v := 0; v < numVars; v++ {
+			direct.NewVar()
+		}
+		for _, cl := range cnf {
+			direct.AddClause(cl...)
+		}
+		want := direct.Solve()
+
+		ip := Inprocess(numVars, cnf, nil, InprocessOptions{})
+		got := StatusUnsat
+		var model []Tribool
+		if !ip.Unsat {
+			simp := NewSolver(Options{})
+			for v := 0; v < numVars; v++ {
+				simp.NewVar()
+			}
+			ok := true
+			for _, cl := range ip.Clauses {
+				if !simp.AddClause(cl...) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				got = simp.Solve()
+			}
+			if got == StatusSat {
+				model = ip.Reconstruct(simp.Model())
+			}
+		}
+		if got != want {
+			t.Fatalf("iter %d: simplified=%v original=%v (%d vars, %d clauses)", iter, got, want, numVars, numClauses)
+		}
+		if got == StatusSat {
+			checkModel(t, cnf, model)
+		}
+	}
+}
+
+// TestInprocessDifferentialAssumptions checks verdict agreement under
+// assumptions with the assumption variables frozen — the exact contract the
+// portfolio relies on for gated queries.
+func TestInprocessDifferentialAssumptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for iter := 0; iter < 200; iter++ {
+		numVars := 6 + rng.Intn(10)
+		cnf := randomCNF(rng, numVars, numVars*3, 3)
+		nAssume := 1 + rng.Intn(3)
+		frozen := make([]bool, numVars)
+		var asm []Lit
+		for len(asm) < nAssume {
+			v := rng.Intn(numVars)
+			if frozen[v] {
+				continue
+			}
+			frozen[v] = true
+			asm = append(asm, MkLit(v, rng.Intn(2) == 0))
+		}
+
+		direct := NewSolver(Options{})
+		for v := 0; v < numVars; v++ {
+			direct.NewVar()
+		}
+		for _, cl := range cnf {
+			direct.AddClause(cl...)
+		}
+		want := direct.Solve(asm...)
+
+		ip := Inprocess(numVars, cnf, frozen, InprocessOptions{})
+		got := StatusUnsat
+		if !ip.Unsat {
+			simp := NewSolver(Options{})
+			for v := 0; v < numVars; v++ {
+				simp.NewVar()
+			}
+			ok := true
+			for _, cl := range ip.Clauses {
+				if !simp.AddClause(cl...) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				got = simp.Solve(asm...)
+			}
+			if got == StatusSat {
+				full := ip.Reconstruct(simp.Model())
+				// The reconstructed model must satisfy the original clauses;
+				// assumption variables are frozen so their values survive.
+				checkModel(t, cnf, full)
+				for _, a := range asm {
+					good := full[a.Var()] == True
+					if a.IsNeg() {
+						good = full[a.Var()] == False
+					}
+					if !good {
+						t.Fatalf("iter %d: reconstruction flipped assumption %v", iter, a)
+					}
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("iter %d: simplified=%v original=%v under %v", iter, got, want, asm)
+		}
+	}
+}
+
+// TestInprocessShrinksTranslatorStyleCNF feeds a Tseitin-style redundant
+// encoding (chains of gate equivalences) and expects a real reduction.
+func TestInprocessShrinksTranslatorStyleCNF(t *testing.T) {
+	// Build g_i <-> (a_i AND b_i) gates plus a top-level OR over the g_i,
+	// the shape the translator emits constantly.
+	var cnf [][]Lit
+	n := 30
+	top := make([]Lit, 0, n)
+	v := 0
+	newVar := func() int { v++; return v - 1 }
+	for i := 0; i < n; i++ {
+		a, b, g := newVar(), newVar(), newVar()
+		cnf = append(cnf,
+			[]Lit{NegLit(g), PosLit(a)},
+			[]Lit{NegLit(g), PosLit(b)},
+			[]Lit{NegLit(a), NegLit(b), PosLit(g)},
+		)
+		top = append(top, PosLit(g))
+	}
+	cnf = append(cnf, top)
+	ip := Inprocess(v, cnf, nil, InprocessOptions{})
+	if ip.Unsat {
+		t.Fatal("unexpected UNSAT")
+	}
+	if ip.Stats.FinalClauses >= ip.Stats.OrigClauses {
+		t.Errorf("no shrink: %d -> %d clauses", ip.Stats.OrigClauses, ip.Stats.FinalClauses)
+	}
+	if ip.Stats.VarsEliminated == 0 {
+		t.Error("expected gate variables to be eliminated")
+	}
+	// And the result must still be satisfiable with a reconstructible model.
+	s := NewSolver(Options{})
+	for i := 0; i < v; i++ {
+		s.NewVar()
+	}
+	for _, cl := range ip.Clauses {
+		s.AddClause(cl...)
+	}
+	if st := s.Solve(); st != StatusSat {
+		t.Fatalf("simplified status = %v", st)
+	}
+	checkModel(t, cnf, ip.Reconstruct(s.Model()))
+}

@@ -1,0 +1,196 @@
+package sat
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Clause-sharing defaults: clauses this short or this low-glue are worth the
+// import cost on every portfolio worker.
+const (
+	defaultShareMaxLen = 8
+	defaultShareMaxLBD = 4
+	poolStripes        = 16
+	// stripeSoftCap bounds per-stripe growth so a pathological query cannot
+	// let the pool outgrow the clause databases it mirrors.
+	stripeSoftCap = 1 << 14
+)
+
+// poolEntry is one published clause. Its literal slice is immutable after
+// publication, so readers may alias it; solvers copy before attaching
+// (propagation reorders literals in place).
+type poolEntry struct {
+	lits   []Lit
+	lbd    int
+	origin int
+}
+
+type poolStripe struct {
+	mu      sync.Mutex
+	seen    map[uint64]struct{}
+	entries []poolEntry
+}
+
+// ClausePool is a lock-striped exchange for learnt clauses between the
+// workers of one portfolio query. Publication hashes the (sorted) clause to
+// a stripe, deduplicates within the stripe, and appends; each worker's
+// ShareConn keeps per-stripe read cursors so draining is an O(new entries)
+// scan with no global lock.
+type ClausePool struct {
+	maxLen, maxLBD int
+	stripes        [poolStripes]poolStripe
+	accepted       atomic.Int64
+	dropped        atomic.Int64
+}
+
+// NewClausePool returns a pool exporting clauses with at most maxLen
+// literals or LBD at most maxLBD (0 selects the defaults 8 and 4).
+func NewClausePool(maxLen, maxLBD int) *ClausePool {
+	if maxLen <= 0 {
+		maxLen = defaultShareMaxLen
+	}
+	if maxLBD <= 0 {
+		maxLBD = defaultShareMaxLBD
+	}
+	p := &ClausePool{maxLen: maxLen, maxLBD: maxLBD}
+	for i := range p.stripes {
+		p.stripes[i].seen = map[uint64]struct{}{}
+	}
+	return p
+}
+
+// Accepted returns the number of clauses the pool accepted (post-dedup).
+func (p *ClausePool) Accepted() int64 { return p.accepted.Load() }
+
+// Dropped returns the number of publications rejected as duplicates or by
+// the stripe cap.
+func (p *ClausePool) Dropped() int64 { return p.dropped.Load() }
+
+// Connect returns a sharing connection for the worker with the given id.
+// buffered connections hold exports locally until Flush — the deterministic
+// barrier mode, where pool contents must be a pure function of completed
+// rounds; unbuffered (streaming) connections publish immediately and are
+// drained by the solver at restart boundaries.
+func (p *ClausePool) Connect(origin int, buffered bool) *ShareConn {
+	return &ShareConn{pool: p, origin: origin, buffered: buffered}
+}
+
+// clauseHash is FNV-1a over the literals of a sorted copy, so literal order
+// (which propagation permutes) never affects identity.
+func clauseHash(lits []Lit) uint64 {
+	var buf [16]Lit
+	sorted := buf[:0]
+	if len(lits) > len(buf) {
+		sorted = make([]Lit, 0, len(lits))
+	}
+	sorted = append(sorted, lits...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	h := uint64(14695981039346656037)
+	for _, l := range sorted {
+		h ^= uint64(uint32(l))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// publish inserts one clause (already copied, caller-owned) into the pool.
+func (p *ClausePool) publish(e poolEntry) bool {
+	h := clauseHash(e.lits)
+	st := &p.stripes[h%poolStripes]
+	st.mu.Lock()
+	if _, dup := st.seen[h]; dup || len(st.entries) >= stripeSoftCap {
+		st.mu.Unlock()
+		p.dropped.Add(1)
+		return false
+	}
+	st.seen[h] = struct{}{}
+	st.entries = append(st.entries, e)
+	st.mu.Unlock()
+	p.accepted.Add(1)
+	return true
+}
+
+// ShareConn is one worker's connection to a ClausePool. It is owned by that
+// worker's goroutine: Export/Flush/Drain must not be called concurrently
+// with each other, but different workers' connections may run in parallel
+// (the pool side is stripe-locked).
+type ShareConn struct {
+	pool     *ClausePool
+	origin   int
+	buffered bool
+	buf      []poolEntry
+	cursors  [poolStripes]int
+	exported int64
+	imported int64
+}
+
+// want reports whether a learnt clause of the given size and LBD passes the
+// pool's export filter. Checked before Export so the common case (clause too
+// big) costs nothing.
+func (c *ShareConn) want(n, lbd int) bool {
+	return n <= c.pool.maxLen || lbd <= c.pool.maxLBD
+}
+
+// streaming reports whether exports publish immediately (restart-boundary
+// import mode) rather than waiting for Flush.
+func (c *ShareConn) streaming() bool { return !c.buffered }
+
+// Export copies the clause and publishes it (streaming) or queues it for the
+// next Flush (buffered). It reports whether the clause was accepted;
+// buffered exports count as accepted when queued.
+func (c *ShareConn) Export(lits []Lit, lbd int) bool {
+	e := poolEntry{lits: append([]Lit(nil), lits...), lbd: lbd, origin: c.origin}
+	if c.buffered {
+		c.buf = append(c.buf, e)
+		c.exported++
+		return true
+	}
+	if c.pool.publish(e) {
+		c.exported++
+		return true
+	}
+	return false
+}
+
+// Flush publishes all buffered exports. Deterministic-mode coordinators call
+// Flush for every worker in worker order at each barrier, making pool
+// contents (and hence every subsequent import) a pure function of the
+// completed rounds.
+func (c *ShareConn) Flush() {
+	for _, e := range c.buf {
+		c.pool.publish(e)
+	}
+	c.buf = c.buf[:0]
+}
+
+// Drain invokes fn for every pool clause published since the last Drain by a
+// worker other than this connection's. The literal slices passed to fn are
+// immutable pool memory — fn must copy before mutating.
+func (c *ShareConn) Drain(fn func(lits []Lit, lbd int)) {
+	for i := range c.pool.stripes {
+		st := &c.pool.stripes[i]
+		st.mu.Lock()
+		fresh := st.entries[c.cursors[i]:]
+		c.cursors[i] = len(st.entries)
+		st.mu.Unlock()
+		// Entries are append-only and immutable once published, so iterating
+		// the snapshot outside the lock is safe.
+		for _, e := range fresh {
+			if e.origin == c.origin {
+				continue
+			}
+			c.imported++
+			fn(e.lits, e.lbd)
+		}
+	}
+}
+
+// Exported returns the number of clauses this connection exported.
+func (c *ShareConn) Exported() int64 { return c.exported }
+
+// Imported returns the number of pool clauses this connection delivered.
+func (c *ShareConn) Imported() int64 { return c.imported }

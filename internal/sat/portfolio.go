@@ -1,0 +1,597 @@
+package sat
+
+import (
+	"context"
+	"sync"
+)
+
+// Portfolio defaults.
+const (
+	// defaultQuantum is the per-round conflict budget of barrier-synced
+	// helpers in deterministic mode.
+	defaultQuantum = 2048
+	// defaultHardThreshold is how many conflicts the reference worker runs
+	// alone before a query is considered hard and the race is launched; easy
+	// queries (the vast majority of candidate evaluations) never pay for
+	// building or running helpers.
+	defaultHardThreshold = 10000
+)
+
+// PortfolioOptions configures a Portfolio.
+type PortfolioOptions struct {
+	// Workers is the total number of racing workers, including the
+	// reference; values <= 1 degrade to a single reference solver.
+	Workers int
+	// Base is the reference worker's configuration (budget, context,
+	// telemetry). Helper workers inherit MaxConflicts and the race context
+	// but override the search knobs with their own diversity configs and run
+	// without telemetry, so sat.solves counters stay comparable to a
+	// single-solver run.
+	Base Options
+	// FreeRace switches from deterministic barrier-synced rounds to
+	// unconstrained asynchronous racing: all workers (reference config
+	// included) solve the inprocessed CNF and exchange clauses at restart
+	// boundaries. Faster, but time-to-verdict and models become
+	// schedule-dependent; only verdict-agnostic callers (benchmarks) use it.
+	FreeRace bool
+	// DisableSharing turns off the shared clause pool.
+	DisableSharing bool
+	// DisableInprocess makes helpers solve the original CNF instead of the
+	// inprocessed one.
+	DisableInprocess bool
+	// Quantum is the deterministic-mode round budget (0 = 2048 conflicts).
+	Quantum int64
+	// HardThreshold is the solo-reference conflict budget before racing
+	// starts in deterministic mode (0 = 10000).
+	HardThreshold int64
+	// ShareMaxLen/ShareMaxLBD bound exported clauses (0 = defaults 8/4).
+	ShareMaxLen int
+	ShareMaxLBD int
+}
+
+// Portfolio races differently-configured CDCL workers on each query: the
+// reference worker runs the exact baseline configuration on the original
+// CNF, helpers run diversity configurations on an inprocessed copy and
+// exchange learnt clauses through a shared pool; the first definitive
+// (SAT/UNSAT) answer wins and the losers are cancelled.
+//
+// In the default deterministic mode the verdict is a pure function of the
+// formula: SAT/UNSAT are objective, and Unknown is returned only when the
+// reference worker exhausts the same conflict budget a single-solver run
+// would have — so a portfolio run and a baseline run agree on every verdict,
+// except that the portfolio may answer definitively where the baseline gave
+// up (a strict improvement racing cannot invert). Models may come from any
+// winner and are only exposed to verdict-agnostic callers.
+//
+// A Portfolio is not safe for concurrent use, mirroring *Solver.
+type Portfolio struct {
+	opts PortfolioOptions
+
+	numVars int
+	clauses [][]Lit // master CNF, in AddClause order, for worker rebuilds
+
+	ref *Solver
+	// refTainted marks the reference solver as cancelled mid-search: its
+	// learnt-clause state then depends on race timing, so it is rebuilt from
+	// the master CNF before the next use to keep later calls deterministic.
+	refTainted bool
+
+	unsat  bool
+	model  []Tribool
+	winner string
+	agg    Stats // retired (helper / rebuilt-reference) worker effort
+
+	// Cached inprocessing result, reused while no clauses were added and
+	// every assumption variable was already frozen when it was computed.
+	simp        *Inprocessed
+	simpClauses int
+	frozen      []bool
+}
+
+// workerConfig is one diversity configuration of the portfolio.
+type workerConfig struct {
+	name        string
+	restartBase int64
+	varDecay    float64
+	clauseDecay float64
+	phase       bool
+	reduceFloor int
+}
+
+// portfolioConfigs is the configuration ladder. Index 0 is the reference
+// (zero knobs = solver defaults); helpers cycle through the rest, spreading
+// across restart cadence, activity decay, initial phase, and reduceDB
+// aggressiveness so at least one worker suits most instances.
+var portfolioConfigs = []workerConfig{
+	{name: "ref"},
+	{name: "agile", restartBase: 40, varDecay: 0.85, reduceFloor: 2000},
+	{name: "phase+", restartBase: 150, phase: true},
+	{name: "stable", restartBase: 700, varDecay: 0.99, reduceFloor: 16000},
+	{name: "focus", restartBase: 100, varDecay: 0.80, clauseDecay: 0.995, phase: true, reduceFloor: 3000},
+	{name: "wide", restartBase: 300, varDecay: 0.97},
+	{name: "phase+agile", restartBase: 60, varDecay: 0.90, phase: true},
+	{name: "marathon", restartBase: 1200, varDecay: 0.96, reduceFloor: 30000},
+}
+
+// options derives a worker's solver options from the portfolio base.
+func (c workerConfig) options(base Options) Options {
+	return Options{
+		MaxConflicts: base.MaxConflicts,
+		RestartBase:  c.restartBase,
+		VarDecay:     c.varDecay,
+		ClauseDecay:  c.clauseDecay,
+		DefaultPhase: c.phase,
+		ReduceFloor:  c.reduceFloor,
+	}
+}
+
+// helperConfig returns the configuration of helper i (0-based).
+func helperConfig(i int) workerConfig {
+	return portfolioConfigs[1+i%(len(portfolioConfigs)-1)]
+}
+
+// NewPortfolio returns a portfolio engine with the given options.
+func NewPortfolio(opts PortfolioOptions) *Portfolio {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	return &Portfolio{opts: opts}
+}
+
+// ensureRef (re)builds the reference solver: lazily on first use, and again
+// whenever a race cancelled it mid-search. A rebuilt reference's spent
+// effort is folded into the retired-worker aggregate first.
+func (p *Portfolio) ensureRef() {
+	if p.ref != nil && !p.refTainted {
+		return
+	}
+	if p.ref != nil {
+		p.agg.Add(p.ref.Stats())
+	}
+	base := p.opts.Base
+	base.Share = nil
+	s := NewSolver(base)
+	s.Grow(p.numVars)
+	for s.NumVars() < p.numVars {
+		s.NewVar()
+	}
+	for _, cl := range p.clauses {
+		if !s.AddClause(cl...) {
+			p.unsat = true
+			break
+		}
+	}
+	p.ref = s
+	p.refTainted = false
+}
+
+// NewVar allocates a fresh variable.
+func (p *Portfolio) NewVar() int {
+	p.ensureRef()
+	v := p.ref.NewVar()
+	p.numVars = p.ref.NumVars()
+	return v
+}
+
+// Grow reserves capacity for at least n variables.
+func (p *Portfolio) Grow(n int) {
+	p.ensureRef()
+	p.ref.Grow(n)
+}
+
+// NumVars returns the number of allocated variables.
+func (p *Portfolio) NumVars() int { return p.numVars }
+
+// NumClauses returns the number of problem clauses.
+func (p *Portfolio) NumClauses() int { return len(p.clauses) }
+
+// AddClause adds a problem clause to the master CNF and the reference
+// solver. It returns false once the database is trivially unsatisfiable.
+func (p *Portfolio) AddClause(lits ...Lit) bool {
+	p.ensureRef()
+	p.clauses = append(p.clauses, append([]Lit(nil), lits...))
+	ok := p.ref.AddClause(lits...)
+	p.numVars = p.ref.NumVars()
+	if !ok {
+		p.unsat = true
+	}
+	return ok
+}
+
+// Model returns the satisfying assignment of the last successful Solve,
+// mapped back onto the original variables when an inprocessed helper won.
+func (p *Portfolio) Model() []Tribool { return append([]Tribool(nil), p.model...) }
+
+// ModelValue returns the last model's value for variable v.
+func (p *Portfolio) ModelValue(v int) bool {
+	return v < len(p.model) && p.model[v] == True
+}
+
+// Winner returns the config name of the worker that answered the last
+// Solve ("" if none was definitive).
+func (p *Portfolio) Winner() string { return p.winner }
+
+// Stats returns the aggregate effort across every worker the portfolio has
+// run — retired helpers, rebuilt references, and the live reference — so
+// Learned-Removed and conflict totals stay meaningful, not just the
+// winner's share.
+func (p *Portfolio) Stats() Stats {
+	s := p.agg
+	if p.ref != nil {
+		s.Add(p.ref.Stats())
+	}
+	return s
+}
+
+// baseContext returns the caller's context (never nil).
+func (p *Portfolio) baseContext() context.Context {
+	if p.opts.Base.Context != nil {
+		return p.opts.Base.Context
+	}
+	return context.Background()
+}
+
+// simplified returns the inprocessed CNF for a query under the given
+// assumptions, recomputing when clauses were added or a not-yet-frozen
+// assumption variable appears (frozen variables accumulate monotonically, so
+// repeat queries over the same gates reuse the cache). On refutation the
+// portfolio's unsat latch is set.
+func (p *Portfolio) simplified(assumptions []Lit) *Inprocessed {
+	for len(p.frozen) < p.numVars {
+		p.frozen = append(p.frozen, false)
+	}
+	fresh := false
+	for _, a := range assumptions {
+		if !p.frozen[a.Var()] {
+			p.frozen[a.Var()] = true
+			fresh = true
+		}
+	}
+	if p.simp == nil || fresh || p.simpClauses != len(p.clauses) {
+		p.simp = Inprocess(p.numVars, p.clauses, p.frozen, InprocessOptions{})
+		p.simpClauses = len(p.clauses)
+		if col := p.opts.Base.Telemetry; col != nil {
+			st := p.simp.Stats
+			col.RecordInprocess(int64(st.VarsEliminated), int64(st.ClausesRemoved+st.Subsumed), int64(st.ClausesAdded))
+		}
+	}
+	if p.simp.Unsat {
+		p.unsat = true
+	}
+	return p.simp
+}
+
+// buildWorker constructs a fresh solver over the given CNF.
+func buildWorker(opts Options, numVars int, clauses [][]Lit) *Solver {
+	s := NewSolver(opts)
+	s.Grow(numVars)
+	for s.NumVars() < numVars {
+		s.NewVar()
+	}
+	for _, cl := range clauses {
+		if !s.AddClause(cl...) {
+			break
+		}
+	}
+	return s
+}
+
+// record publishes the race outcome to telemetry.
+func (p *Portfolio) record(winner string, exported, imported int64) {
+	p.winner = winner
+	if col := p.opts.Base.Telemetry; col != nil {
+		col.RecordPortfolioSolve(winner, exported, imported)
+	}
+}
+
+// Solve races the configured workers on the query and returns the first
+// definitive verdict.
+func (p *Portfolio) Solve(assumptions ...Lit) Status {
+	p.ensureRef()
+	if p.unsat {
+		return StatusUnsat
+	}
+	if p.opts.Workers <= 1 {
+		st := p.ref.Solve(assumptions...)
+		if st == StatusSat {
+			p.model = p.ref.Model()
+		}
+		p.winner = "ref"
+		return st
+	}
+	asm := append([]Lit(nil), assumptions...)
+	if p.opts.FreeRace {
+		return p.solveFree(asm)
+	}
+	return p.solveDet(asm)
+}
+
+// helperWorker is one racing helper in deterministic mode.
+type helperWorker struct {
+	s    *Solver
+	name string
+	st   Status
+	done bool
+}
+
+// helpResult is the helper side's final answer for one query.
+type helpResult struct {
+	st  Status
+	idx int
+}
+
+// solveDet runs the deterministic-verdict race: the reference solves the
+// original CNF one-shot and detached from sharing (so its trajectory is
+// bit-identical to a single-solver run), helpers solve the inprocessed CNF
+// in barrier-synced conflict-quantum rounds, flushing and importing shared
+// clauses only at barriers in worker order (pool contents are then a pure
+// function of completed rounds). The first definitive answer cancels the
+// other side.
+func (p *Portfolio) solveDet(asm []Lit) Status {
+	// Stage 1: reference alone up to the hard-query threshold.
+	threshold := p.opts.HardThreshold
+	if threshold <= 0 {
+		threshold = defaultHardThreshold
+	}
+	budget := p.opts.Base.MaxConflicts
+	if budget > 0 && threshold > budget {
+		threshold = budget
+	}
+	c0 := p.ref.Conflicts
+	if st := p.ref.SolveBudget(threshold, asm...); st != StatusUnknown {
+		if st == StatusSat {
+			p.model = p.ref.Model()
+		}
+		p.record("ref", 0, 0)
+		return st
+	}
+	spent := p.ref.Conflicts - c0
+	if p.ref.cancelled() {
+		return StatusUnknown
+	}
+	if budget > 0 && spent >= budget {
+		// The budget a single-solver run had is gone: report Unknown exactly
+		// as the baseline would, rather than letting helpers answer where
+		// the baseline could not.
+		return StatusUnknown
+	}
+
+	// Stage 2: the query is hard — launch the race.
+	var simp *Inprocessed
+	helperClauses := p.clauses
+	if !p.opts.DisableInprocess {
+		simp = p.simplified(asm)
+		if p.unsat {
+			return StatusUnsat
+		}
+		helperClauses = simp.Clauses
+	}
+
+	refCtx, cancelRef := context.WithCancel(p.baseContext())
+	helpCtx, cancelHelp := context.WithCancel(p.baseContext())
+	defer cancelRef()
+	defer cancelHelp()
+
+	p.ref.SetContext(refCtx)
+	remaining := int64(0)
+	if budget > 0 {
+		remaining = budget - spent
+	}
+	refCh := make(chan Status, 1)
+	go func() { refCh <- p.ref.SolveBudget(remaining, asm...) }()
+
+	n := p.opts.Workers - 1
+	var pool *ClausePool
+	if !p.opts.DisableSharing && n > 1 {
+		pool = NewClausePool(p.opts.ShareMaxLen, p.opts.ShareMaxLBD)
+	}
+	helpers := make([]*helperWorker, n)
+	for i := range helpers {
+		cfg := helperConfig(i)
+		opts := cfg.options(p.opts.Base)
+		opts.Context = helpCtx
+		if pool != nil {
+			opts.Share = pool.Connect(i, true) // buffered: barrier sharing
+		}
+		helpers[i] = &helperWorker{s: buildWorker(opts, p.numVars, helperClauses), name: cfg.name}
+	}
+	helpCh := make(chan helpResult, 1)
+	go p.runHelperRounds(helpers, pool, asm, helpCtx, helpCh)
+
+	res := StatusUnknown
+	winHelper := -1
+	refDone, helpDone := false, false
+	for res == StatusUnknown && !(refDone && helpDone) {
+		select {
+		case st := <-refCh:
+			refDone = true
+			if st != StatusUnknown {
+				res = st
+			}
+		case hr := <-helpCh:
+			helpDone = true
+			if hr.st != StatusUnknown {
+				res = hr.st
+				winHelper = hr.idx
+			}
+		}
+	}
+	cancelRef()
+	cancelHelp()
+	if !refDone {
+		<-refCh
+		// The reference was cancelled mid-search; its state now depends on
+		// race timing, so rebuild before the next call.
+		p.refTainted = true
+	}
+	if !helpDone {
+		<-helpCh
+	}
+	if !p.refTainted {
+		p.ref.SetContext(p.opts.Base.Context)
+	}
+
+	if res == StatusSat {
+		if winHelper >= 0 {
+			m := helpers[winHelper].s.Model()
+			if simp != nil {
+				m = simp.Reconstruct(m)
+			}
+			p.model = m
+		} else {
+			p.model = p.ref.Model()
+		}
+	}
+	var imported int64
+	for _, h := range helpers {
+		p.agg.Add(h.s.Stats())
+		imported += h.s.Imported
+	}
+	var exported int64
+	if pool != nil {
+		exported = pool.Accepted()
+	}
+	name := "ref"
+	if winHelper >= 0 {
+		name = helpers[winHelper].name
+	} else if res == StatusUnknown {
+		name = ""
+	}
+	p.record(name, exported, imported)
+	return res
+}
+
+// runHelperRounds drives the barrier-synced helper rounds until a helper is
+// definitive, every helper exhausted its budget, or the context is done.
+func (p *Portfolio) runHelperRounds(hs []*helperWorker, pool *ClausePool, asm []Lit, ctx context.Context, out chan<- helpResult) {
+	quantum := p.opts.Quantum
+	if quantum <= 0 {
+		quantum = defaultQuantum
+	}
+	budget := p.opts.Base.MaxConflicts
+	for {
+		if ctx.Err() != nil {
+			out <- helpResult{st: StatusUnknown}
+			return
+		}
+		live := 0
+		var wg sync.WaitGroup
+		for _, h := range hs {
+			if h.done {
+				continue
+			}
+			live++
+			wg.Add(1)
+			go func(h *helperWorker) {
+				defer wg.Done()
+				h.st = h.s.SolveBudget(quantum, asm...)
+			}(h)
+		}
+		if live == 0 {
+			out <- helpResult{st: StatusUnknown}
+			return
+		}
+		wg.Wait()
+		// Deterministic winner selection: the lowest-index definitive helper.
+		for i, h := range hs {
+			if h.done {
+				continue
+			}
+			if h.st == StatusSat || h.st == StatusUnsat {
+				out <- helpResult{st: h.st, idx: i}
+				return
+			}
+			if budget > 0 && h.s.Conflicts >= budget {
+				h.done = true
+			}
+		}
+		if pool != nil && ctx.Err() == nil {
+			// Barrier clause exchange, in worker order both ways.
+			for _, h := range hs {
+				if !h.done {
+					h.s.opts.Share.Flush()
+				}
+			}
+			for _, h := range hs {
+				if !h.done {
+					h.s.ImportShared()
+				}
+			}
+		}
+	}
+}
+
+// solveFree runs the unconstrained race: all Workers (config ladder from the
+// reference config up) solve the inprocessed CNF with full budgets,
+// exchanging clauses asynchronously at restart boundaries. The master
+// reference solver is left untouched.
+func (p *Portfolio) solveFree(asm []Lit) Status {
+	cnf := p.clauses
+	var simp *Inprocessed
+	if !p.opts.DisableInprocess {
+		simp = p.simplified(asm)
+		if p.unsat {
+			return StatusUnsat
+		}
+		cnf = simp.Clauses
+	}
+
+	ctx, cancel := context.WithCancel(p.baseContext())
+	defer cancel()
+	k := p.opts.Workers
+	var pool *ClausePool
+	if !p.opts.DisableSharing && k > 1 {
+		pool = NewClausePool(p.opts.ShareMaxLen, p.opts.ShareMaxLBD)
+	}
+	type freeResult struct {
+		idx int
+		st  Status
+	}
+	workers := make([]*Solver, k)
+	names := make([]string, k)
+	ch := make(chan freeResult, k)
+	for i := 0; i < k; i++ {
+		cfg := portfolioConfigs[i%len(portfolioConfigs)]
+		opts := cfg.options(p.opts.Base)
+		opts.Context = ctx
+		if pool != nil {
+			opts.Share = pool.Connect(i, false) // streaming: restart imports
+		}
+		workers[i] = buildWorker(opts, p.numVars, cnf)
+		names[i] = cfg.name
+		go func(i int) { ch <- freeResult{i, workers[i].Solve(asm...)} }(i)
+	}
+
+	res := StatusUnknown
+	winIdx := -1
+	for done := 0; done < k; done++ {
+		r := <-ch
+		if winIdx < 0 && (r.st == StatusSat || r.st == StatusUnsat) {
+			res = r.st
+			winIdx = r.idx
+			cancel()
+		}
+	}
+	if res == StatusSat {
+		m := workers[winIdx].Model()
+		if simp != nil {
+			m = simp.Reconstruct(m)
+		}
+		p.model = m
+	}
+	var imported int64
+	for _, w := range workers {
+		p.agg.Add(w.Stats())
+		imported += w.Imported
+	}
+	var exported int64
+	if pool != nil {
+		exported = pool.Accepted()
+	}
+	name := ""
+	if winIdx >= 0 {
+		name = names[winIdx]
+	}
+	p.record(name, exported, imported)
+	return res
+}

@@ -1,0 +1,344 @@
+package sat
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// buildPortfolio loads a CNF into a fresh portfolio.
+func buildPortfolio(opts PortfolioOptions, numVars int, cnf [][]Lit) *Portfolio {
+	p := NewPortfolio(opts)
+	p.Grow(numVars)
+	for p.NumVars() < numVars {
+		p.NewVar()
+	}
+	for _, cl := range cnf {
+		p.AddClause(cl...)
+	}
+	return p
+}
+
+// TestPortfolioMatchesSolverDet is the determinism guard: on random
+// instances the deterministic-mode portfolio must return exactly the verdict
+// a single baseline solver returns, and SAT models (possibly reconstructed
+// from an inprocessed helper) must satisfy the original CNF.
+func TestPortfolioMatchesSolverDet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for iter := 0; iter < 120; iter++ {
+		numVars := 8 + rng.Intn(15)
+		numClauses := int(float64(numVars) * (3.0 + rng.Float64()*2.0))
+		cnf := randomCNF(rng, numVars, numClauses, 3)
+
+		single := NewSolver(Options{})
+		for v := 0; v < numVars; v++ {
+			single.NewVar()
+		}
+		for _, cl := range cnf {
+			single.AddClause(cl...)
+		}
+		want := single.Solve()
+
+		// HardThreshold 1 forces the race even on easy queries so the helper
+		// path actually runs.
+		p := buildPortfolio(PortfolioOptions{Workers: 4, HardThreshold: 1, Quantum: 64}, numVars, cnf)
+		got := p.Solve()
+		if got != want {
+			t.Fatalf("iter %d: portfolio=%v single=%v", iter, got, want)
+		}
+		if got == StatusSat {
+			checkModel(t, cnf, p.Model())
+		}
+	}
+}
+
+// TestPortfolioMatchesSolverFree covers the free-race mode the benchmarks
+// use: verdicts still agree (they are objective), models still check out.
+func TestPortfolioMatchesSolverFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for iter := 0; iter < 80; iter++ {
+		numVars := 8 + rng.Intn(15)
+		numClauses := int(float64(numVars) * (3.0 + rng.Float64()*2.0))
+		cnf := randomCNF(rng, numVars, numClauses, 3)
+
+		single := NewSolver(Options{})
+		for v := 0; v < numVars; v++ {
+			single.NewVar()
+		}
+		for _, cl := range cnf {
+			single.AddClause(cl...)
+		}
+		want := single.Solve()
+
+		p := buildPortfolio(PortfolioOptions{Workers: 4, FreeRace: true}, numVars, cnf)
+		got := p.Solve()
+		if got != want {
+			t.Fatalf("iter %d: free portfolio=%v single=%v", iter, got, want)
+		}
+		if got == StatusSat {
+			checkModel(t, cnf, p.Model())
+		}
+	}
+}
+
+// TestPortfolioAssumptions exercises the gated-query pattern the analyzer
+// uses: repeated Solve calls on one portfolio with different assumption
+// literals, interleaved with clause additions.
+func TestPortfolioAssumptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 40; iter++ {
+		numVars := 8 + rng.Intn(10)
+		cnf := randomCNF(rng, numVars, numVars*3, 3)
+
+		single := NewSolver(Options{})
+		p := buildPortfolio(PortfolioOptions{Workers: 3, HardThreshold: 1, Quantum: 32}, 0, nil)
+		for v := 0; v < numVars; v++ {
+			single.NewVar()
+			p.NewVar()
+		}
+		for _, cl := range cnf {
+			single.AddClause(cl...)
+			p.AddClause(cl...)
+		}
+		for q := 0; q < 4; q++ {
+			var asm []Lit
+			for n := 1 + rng.Intn(2); len(asm) < n; {
+				asm = append(asm, MkLit(rng.Intn(numVars), rng.Intn(2) == 0))
+			}
+			want := single.Solve(asm...)
+			got := p.Solve(asm...)
+			if got != want {
+				t.Fatalf("iter %d query %d: portfolio=%v single=%v under %v", iter, q, got, want, asm)
+			}
+			if q == 1 {
+				// Mid-session clause addition, like a new candidate's gates.
+				extra := randomCNF(rng, numVars, 2, 3)
+				for _, cl := range extra {
+					okS := single.AddClause(cl...)
+					okP := p.AddClause(cl...)
+					if okS != okP {
+						t.Fatalf("AddClause disagreement: single=%v portfolio=%v", okS, okP)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPortfolioUnsatLatch mirrors the solver's root-conflict latch.
+func TestPortfolioUnsatLatch(t *testing.T) {
+	p := NewPortfolio(PortfolioOptions{Workers: 3})
+	a := p.NewVar()
+	p.AddClause(PosLit(a))
+	if ok := p.AddClause(NegLit(a)); ok {
+		t.Error("conflicting unit should report failure")
+	}
+	if st := p.Solve(); st != StatusUnsat {
+		t.Errorf("status = %v, want UNSAT", st)
+	}
+	if st := p.Solve(); st != StatusUnsat {
+		t.Errorf("status after latch = %v, want UNSAT", st)
+	}
+}
+
+// TestPortfolioSingleWorkerPassthrough checks the degenerate configuration
+// stays a plain solver (the incremental evaluator's arrangement).
+func TestPortfolioSingleWorkerPassthrough(t *testing.T) {
+	cnf := [][]Lit{{PosLit(0), PosLit(1)}, {NegLit(0)}}
+	p := buildPortfolio(PortfolioOptions{Workers: 1}, 2, cnf)
+	if st := p.Solve(); st != StatusSat {
+		t.Fatalf("status = %v", st)
+	}
+	if !p.ModelValue(1) || p.ModelValue(0) {
+		t.Errorf("model: v0=%v v1=%v", p.ModelValue(0), p.ModelValue(1))
+	}
+	if s := p.Stats(); s.Workers != 1 {
+		t.Errorf("Workers = %d, want 1", s.Workers)
+	}
+}
+
+// TestPortfolioStatsAggregate checks satellite 2: the stats snapshot folds
+// in every worker's effort, not just the winner's.
+func TestPortfolioStatsAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	numVars := 60
+	cnf := randomCNF(rng, numVars, int(float64(numVars)*4.3), 3)
+	p := buildPortfolio(PortfolioOptions{Workers: 4, HardThreshold: 1, Quantum: 64}, numVars, cnf)
+	p.Solve()
+	st := p.Stats()
+	if st.Workers < 2 {
+		t.Errorf("Workers = %d, want >= 2 (helpers must be folded in)", st.Workers)
+	}
+	refOnly := p.ref.Stats()
+	if st.Conflicts < refOnly.Conflicts {
+		t.Errorf("aggregate conflicts %d < reference's %d", st.Conflicts, refOnly.Conflicts)
+	}
+	if st.Learned < 0 || st.Removed < 0 || st.Learned < st.Removed {
+		t.Errorf("Learned=%d Removed=%d inconsistent", st.Learned, st.Removed)
+	}
+}
+
+// TestPortfolioDeterministicRepeat runs the same hard query twice through
+// fresh deterministic portfolios and expects identical verdicts.
+func TestPortfolioDeterministicRepeat(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	numVars := 40
+	cnf := randomCNF(rng, numVars, int(float64(numVars)*4.3), 3)
+	run := func() Status {
+		p := buildPortfolio(PortfolioOptions{Workers: 4, HardThreshold: 1, Quantum: 128}, numVars, cnf)
+		return p.Solve()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d: %v, first run %v", i, got, first)
+		}
+	}
+}
+
+// TestPortfolioCancellation checks the caller's context still cancels the
+// whole race promptly and leaves the portfolio reusable.
+func TestPortfolioCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	numVars := 200
+	cnf := randomCNF(rng, numVars, int(float64(numVars)*4.26), 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already done: Solve must return Unknown immediately
+	p := buildPortfolio(PortfolioOptions{
+		Workers:       3,
+		HardThreshold: 1,
+		Base:          Options{Context: ctx},
+	}, numVars, cnf)
+	if st := p.Solve(); st != StatusUnknown {
+		t.Fatalf("cancelled solve = %v, want UNKNOWN", st)
+	}
+}
+
+// TestPortfolioSharingHammer drives many concurrent racing queries, each
+// with clause sharing between its workers — the -race exercise for the
+// lock-striped pool (streaming and buffered paths both).
+func TestPortfolioSharingHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(1001))
+	type job struct {
+		cnf     [][]Lit
+		numVars int
+		want    Status
+	}
+	var jobs []job
+	for i := 0; i < 12; i++ {
+		numVars := 30 + rng.Intn(30)
+		cnf := randomCNF(rng, numVars, int(float64(numVars)*4.2), 3)
+		single := NewSolver(Options{})
+		for v := 0; v < numVars; v++ {
+			single.NewVar()
+		}
+		for _, cl := range cnf {
+			single.AddClause(cl...)
+		}
+		jobs = append(jobs, job{cnf, numVars, single.Solve()})
+	}
+	var wg sync.WaitGroup
+	for i, jb := range jobs {
+		wg.Add(1)
+		go func(i int, jb job) {
+			defer wg.Done()
+			opts := PortfolioOptions{Workers: 4, HardThreshold: 1, Quantum: 32}
+			if i%2 == 1 {
+				opts.FreeRace = true
+			}
+			p := buildPortfolio(opts, jb.numVars, jb.cnf)
+			if got := p.Solve(); got != jb.want {
+				t.Errorf("job %d: portfolio=%v single=%v", i, got, jb.want)
+			}
+		}(i, jb)
+	}
+	wg.Wait()
+}
+
+// TestClausePoolDedup checks pool-level deduplication and cursor isolation.
+func TestClausePoolDedup(t *testing.T) {
+	pool := NewClausePool(0, 0)
+	c0 := pool.Connect(0, false)
+	c1 := pool.Connect(1, false)
+	cl := []Lit{PosLit(0), NegLit(1)}
+	if !c0.Export(cl, 2) {
+		t.Fatal("first export rejected")
+	}
+	// Same clause in permuted literal order must be deduplicated.
+	if c1.Export([]Lit{NegLit(1), PosLit(0)}, 2) {
+		t.Error("duplicate export accepted")
+	}
+	var got [][]Lit
+	c1.Drain(func(lits []Lit, lbd int) { got = append(got, lits) })
+	if len(got) != 1 {
+		t.Fatalf("peer drained %d clauses, want 1", len(got))
+	}
+	// The exporter itself must not re-import its own clause.
+	got = nil
+	c0.Drain(func(lits []Lit, lbd int) { got = append(got, lits) })
+	if len(got) != 0 {
+		t.Errorf("origin drained its own clause")
+	}
+	// A second drain sees nothing new.
+	got = nil
+	c1.Drain(func(lits []Lit, lbd int) { got = append(got, lits) })
+	if len(got) != 0 {
+		t.Errorf("re-drain returned %d clauses", len(got))
+	}
+	if pool.Accepted() != 1 || pool.Dropped() != 1 {
+		t.Errorf("accepted=%d dropped=%d", pool.Accepted(), pool.Dropped())
+	}
+}
+
+// TestClausePoolBufferedFlush checks buffered connections publish only at
+// Flush — the barrier-determinism primitive.
+func TestClausePoolBufferedFlush(t *testing.T) {
+	pool := NewClausePool(0, 0)
+	c0 := pool.Connect(0, true)
+	c1 := pool.Connect(1, true)
+	c0.Export([]Lit{PosLit(2), PosLit(3)}, 2)
+	var got int
+	c1.Drain(func([]Lit, int) { got++ })
+	if got != 0 {
+		t.Fatalf("clause visible before Flush")
+	}
+	c0.Flush()
+	c1.Drain(func([]Lit, int) { got++ })
+	if got != 1 {
+		t.Fatalf("drained %d after Flush, want 1", got)
+	}
+}
+
+// TestSolverShareImport wires two solvers to one pool directly and checks
+// learnt units travel: the exporter derives a forced literal, the importer
+// picks it up at a restart boundary (streaming) or via ImportShared.
+func TestSolverShareImport(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	numVars := 40
+	cnf := randomCNF(rng, numVars, int(float64(numVars)*4.3), 3)
+
+	pool := NewClausePool(0, 0)
+	a := NewSolver(Options{Share: pool.Connect(0, false)})
+	b := NewSolver(Options{Share: pool.Connect(1, false)})
+	for v := 0; v < numVars; v++ {
+		a.NewVar()
+		b.NewVar()
+	}
+	for _, cl := range cnf {
+		a.AddClause(cl...)
+		b.AddClause(cl...)
+	}
+	stA := a.Solve()
+	if a.Exported == 0 {
+		t.Skip("instance produced no shareable clauses")
+	}
+	b.ImportShared()
+	stB := b.Solve()
+	if stA != stB {
+		t.Fatalf("verdicts diverged after import: %v vs %v", stA, stB)
+	}
+	if b.Imported == 0 {
+		t.Errorf("importer attached no clauses despite %d exports", a.Exported)
+	}
+}

@@ -55,6 +55,19 @@ const (
 	CtrIncFallbacks = "incremental.fallbacks"
 	CtrIncCarried   = "incremental.carried_learnts"
 
+	// Portfolio SAT solving: queries answered through the racing engine, the
+	// clause-sharing traffic between its workers, and per-config win counts
+	// ("portfolio.wins|<config>"). Inprocessing counters summarize the CNF
+	// simplification runs in front of the helper workers.
+	CtrPortfolioSolves   = "portfolio.solves"
+	CtrPortfolioExported = "portfolio.clauses_exported"
+	CtrPortfolioImported = "portfolio.clauses_imported"
+	CtrPortfolioWins     = "portfolio.wins"
+	CtrInprocessRuns     = "inprocess.runs"
+	CtrInprocessVarsElim = "inprocess.vars_eliminated"
+	CtrInprocessRemoved  = "inprocess.clauses_removed"
+	CtrInprocessAdded    = "inprocess.clauses_added"
+
 	HistSolveNs           = "sat.solve_ns"
 	HistConflictsPerSolve = "sat.conflicts_per_solve"
 	HistDecisionsPerSolve = "sat.decisions_per_solve"

@@ -1,0 +1,58 @@
+package specrepair
+
+// Corpus-wide differential guard for the portfolio SAT layer: over the
+// deterministic 1/200 benchmark slice, REP scoring (Equisat of candidate
+// against ground truth) must give byte-for-byte identical verdicts with
+// portfolio racing on (analyzer.Options.SATWorkers > 1) and off. This is the
+// contract that keeps study artifacts byte-identical under -portfolio.
+
+import (
+	"testing"
+
+	"specrepair/internal/analyzer"
+	"specrepair/internal/bench"
+	"specrepair/internal/telemetry"
+)
+
+func TestPortfolioCorpusDifferential(t *testing.T) {
+	a4f, ar := corpusSuites(t)
+	const perSpec = 8
+
+	single := analyzer.New(analyzer.Options{})
+	// SATHardThreshold 1 forces every fresh verdict query to escalate to
+	// racing — at corpus-slice sizes none would cross the default threshold,
+	// and the test would silently compare two single-solver runs.
+	reg := telemetry.New()
+	raced := analyzer.New(analyzer.Options{
+		SATWorkers:       4,
+		SATHardThreshold: 1,
+		Telemetry:        telemetry.NewCollector(reg),
+	})
+	specs, queries := 0, 0
+	for _, suite := range []*bench.Suite{a4f, ar} {
+		for _, spec := range suite.Specs {
+			specs++
+			for i, cand := range candidateStream(spec.Faulty, perSpec) {
+				want, wantErr := single.Equisat(spec.GroundTruth, cand)
+				got, gotErr := raced.Equisat(spec.GroundTruth, cand)
+				if (gotErr != nil) != (wantErr != nil) {
+					t.Fatalf("%s/%s candidate %d: error mismatch: portfolio=%v single=%v",
+						suite.Name, spec.Name, i, gotErr, wantErr)
+				}
+				if got != want {
+					t.Fatalf("%s/%s candidate %d: portfolio=%v single=%v",
+						suite.Name, spec.Name, i, got, want)
+				}
+				queries++
+			}
+		}
+	}
+	if queries == 0 {
+		t.Fatal("no candidates were evaluated")
+	}
+	raced0 := reg.CounterValue(telemetry.CtrPortfolioSolves)
+	if raced0 == 0 {
+		t.Fatal("no query escalated to racing; the portfolio layer is dead")
+	}
+	t.Logf("%d specs, %d equisat verdicts compared (%d raced)", specs, queries, raced0)
+}
