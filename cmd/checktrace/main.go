@@ -1,9 +1,16 @@
 // Command checktrace validates a JSONL span trace produced by -trace.
 //
-// It decodes every line as a telemetry.SpanRecord, checks the basic span
-// invariants (name, technique, positive duration), and prints a one-line
-// summary. A malformed trace exits non-zero, which makes it usable as a CI
-// assertion:
+// It decodes every line as a telemetry.SpanRecord and checks two layers of
+// invariants:
+//
+//   - per-record: every span has a name; "job" spans carry technique, spec,
+//     and a positive duration; incremental counters are non-negative.
+//   - hierarchy (when span IDs are present): span IDs are unique, every
+//     non-root span's parent exists in the same trace, parent links are
+//     acyclic, and child intervals nest inside their parent's (with a small
+//     slack for clock reads on either side of the span boundary).
+//
+// Any violation exits non-zero, which makes it usable as a CI assertion:
 //
 //	experiments -scale 400 -table1 -trace t.jsonl && checktrace t.jsonl
 package main
@@ -13,9 +20,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 
 	"specrepair/internal/telemetry"
 )
+
+// nestSlackNs tolerates the clock reads that bracket a span boundary (a
+// parent's externally measured duration can undershoot a child's by the cost
+// of the surrounding instrumentation).
+const nestSlackNs = 2_000_000 // 2ms
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -34,47 +47,156 @@ func run(args []string) error {
 	}
 	defer f.Close()
 
-	var spans, badDur int64
-	var total int64 // summed duration, ns
+	var recs []telemetry.SpanRecord
+	var badDur int64
+	var total int64 // summed job duration, ns
 	var incQueries, incFallbacks, incCarried int64
 	techniques := map[string]int64{}
+	kinds := map[string]int64{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
 	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
+		raw := sc.Bytes()
+		line++
+		if len(raw) == 0 {
 			continue
 		}
 		var sr telemetry.SpanRecord
-		if err := json.Unmarshal(line, &sr); err != nil {
-			return fmt.Errorf("line %d: invalid JSON: %w", spans+1, err)
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			return fmt.Errorf("line %d: invalid JSON: %w", line, err)
 		}
-		if sr.Name == "" || sr.Technique == "" || sr.Spec == "" {
-			return fmt.Errorf("line %d: span missing name/technique/spec: %s", spans+1, line)
+		if sr.Name == "" {
+			return fmt.Errorf("line %d: span missing name: %s", line, raw)
 		}
-		if sr.DurationNs <= 0 {
-			badDur++
+		// Only job spans (and legacy flat traces, whose every record is a
+		// job) carry the per-job fields.
+		if sr.Name == "job" || sr.SpanID == "" {
+			if sr.Technique == "" || sr.Spec == "" {
+				return fmt.Errorf("line %d: job span missing technique/spec: %s", line, raw)
+			}
+			if sr.DurationNs <= 0 {
+				badDur++
+			}
+			techniques[sr.Technique]++
+			total += sr.DurationNs
 		}
 		if sr.IncQueries < 0 || sr.IncFallbacks < 0 || sr.IncCarriedLearnts < 0 {
-			return fmt.Errorf("line %d: span has negative incremental counters: %s", spans+1, line)
+			return fmt.Errorf("line %d: span has negative incremental counters: %s", line, raw)
 		}
 		incQueries += sr.IncQueries
 		incFallbacks += sr.IncFallbacks
 		incCarried += sr.IncCarriedLearnts
-		techniques[sr.Technique]++
-		total += sr.DurationNs
-		spans++
+		kinds[sr.Name]++
+		recs = append(recs, sr)
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	if spans == 0 {
+	if len(recs) == 0 {
 		return fmt.Errorf("%s: no spans", args[0])
 	}
 	if badDur > 0 {
-		return fmt.Errorf("%d of %d spans have non-positive durations", badDur, spans)
+		return fmt.Errorf("%d of %d spans have non-positive durations", badDur, len(recs))
 	}
-	fmt.Printf("%s: %d spans, %d techniques, %.3fs total attributed time, %d incremental queries (%d fallbacks, %d learnts carried)\n",
-		args[0], spans, len(techniques), float64(total)/1e9, incQueries, incFallbacks, incCarried)
+
+	depths, err := checkHierarchy(recs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s: %d spans, %d techniques, %.3fs total job time, %d incremental queries (%d fallbacks, %d learnts carried)\n",
+		args[0], len(recs), len(techniques), float64(total)/1e9, incQueries, incFallbacks, incCarried)
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("  kind %-22s %d\n", k, kinds[k])
+	}
+	if len(depths) > 0 {
+		fmt.Printf("  depth histogram:")
+		for d := 0; d < len(depths); d++ {
+			fmt.Printf(" %d:%d", d, depths[d])
+		}
+		fmt.Println()
+	}
 	return nil
+}
+
+// checkHierarchy validates parent existence, acyclicity, and interval
+// nesting for all spans that carry IDs. It returns the depth histogram
+// (depths[d] = number of spans at depth d; roots are depth 0), or nil when
+// the trace is a legacy flat one.
+func checkHierarchy(recs []telemetry.SpanRecord) ([]int64, error) {
+	byID := map[string]*telemetry.SpanRecord{}
+	n := 0
+	for i := range recs {
+		sr := &recs[i]
+		if sr.SpanID == "" {
+			continue
+		}
+		key := sr.TraceID + "/" + sr.SpanID
+		if _, dup := byID[key]; dup {
+			return nil, fmt.Errorf("duplicate span ID %s in trace %s", sr.SpanID, sr.TraceID)
+		}
+		byID[key] = sr
+		n++
+	}
+	if n == 0 {
+		return nil, nil // legacy flat trace: nothing to validate
+	}
+
+	depth := map[string]int{}
+	var walk func(sr *telemetry.SpanRecord, seen map[string]bool) (int, error)
+	walk = func(sr *telemetry.SpanRecord, seen map[string]bool) (int, error) {
+		key := sr.TraceID + "/" + sr.SpanID
+		if d, ok := depth[key]; ok {
+			return d, nil
+		}
+		if sr.ParentID == "" {
+			depth[key] = 0
+			return 0, nil
+		}
+		if seen[key] {
+			return 0, fmt.Errorf("cycle in parent links at span %s (trace %s)", sr.SpanID, sr.TraceID)
+		}
+		seen[key] = true
+		parent, ok := byID[sr.TraceID+"/"+sr.ParentID]
+		if !ok {
+			return 0, fmt.Errorf("span %s (kind %s) references missing parent %s in trace %s",
+				sr.SpanID, sr.Name, sr.ParentID, sr.TraceID)
+		}
+		pd, err := walk(parent, seen)
+		if err != nil {
+			return 0, err
+		}
+		// Nesting: the child's interval must lie within the parent's.
+		if sr.StartUnixNs < parent.StartUnixNs-nestSlackNs {
+			return 0, fmt.Errorf("span %s (kind %s) starts %dns before its parent %s (kind %s)",
+				sr.SpanID, sr.Name, parent.StartUnixNs-sr.StartUnixNs, parent.SpanID, parent.Name)
+		}
+		if end, pend := sr.StartUnixNs+sr.DurationNs, parent.StartUnixNs+parent.DurationNs; end > pend+nestSlackNs {
+			return 0, fmt.Errorf("span %s (kind %s) ends %dns after its parent %s (kind %s)",
+				sr.SpanID, sr.Name, end-pend, parent.SpanID, parent.Name)
+		}
+		depth[key] = pd + 1
+		return pd + 1, nil
+	}
+	maxDepth := 0
+	for _, sr := range byID {
+		d, err := walk(sr, map[string]bool{})
+		if err != nil {
+			return nil, err
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	depths := make([]int64, maxDepth+1)
+	for _, d := range depth {
+		depths[d]++
+	}
+	return depths, nil
 }

@@ -71,6 +71,8 @@ func run(args []string) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	trace := fs.String("trace", "", "write a JSONL span trace (one line per (technique, spec) job) to this file")
+	traceChrome := fs.String("trace-chrome", "", "write a Chrome trace_event JSON trace (load in Perfetto / chrome://tracing) to this file")
+	dashboard := fs.Bool("dashboard", false, "render a live terminal dashboard on stderr (suppresses progress lines)")
 	metricsAddr := fs.String("metrics-addr", "", "serve live /metrics (Prometheus) and /metrics.json on this address while running")
 	timeout := fs.Duration("timeout", 0, "per-job wall-clock limit; a timed-out (technique, spec) job errors and the run continues")
 	checkpointPath := fs.String("checkpoint", "", "journal completed jobs to this JSONL file")
@@ -106,6 +108,7 @@ func run(args []string) error {
 	// The registry is always on: its atomic counters are cheap against the
 	// solver-bound workload, and the run-report and CSV exports depend on it.
 	reg := telemetry.New()
+	var sinks []telemetry.SpanSink
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
@@ -117,7 +120,28 @@ func run(args []string) error {
 				fmt.Fprintln(os.Stderr, "experiments: closing trace:", err)
 			}
 		}()
-		reg.SetSink(tw)
+		sinks = append(sinks, tw)
+	}
+	if *traceChrome != "" {
+		f, err := os.Create(*traceChrome)
+		if err != nil {
+			return fmt.Errorf("creating chrome trace file: %w", err)
+		}
+		cw := telemetry.NewChromeTraceWriter(f)
+		defer func() {
+			if err := cw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: closing chrome trace:", err)
+			}
+		}()
+		sinks = append(sinks, cw)
+	}
+	if *dashboard && len(sinks) == 0 {
+		// Span construction is gated on a sink; the dashboard only needs the
+		// live tracker, so discard the records.
+		sinks = append(sinks, telemetry.Discard)
+	}
+	if s := telemetry.MultiSink(sinks...); s != nil {
+		reg.SetSink(s)
 	}
 	if *metricsAddr != "" {
 		srv, err := telemetry.ServeMetrics(reg, *metricsAddr)
@@ -135,6 +159,16 @@ func run(args []string) error {
 	defer stop()
 
 	start := time.Now()
+	progress := func(msg string) {
+		fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), msg)
+	}
+	if *dashboard {
+		reg.TrackActive(true)
+		dash := telemetry.NewDashboard(reg, os.Stderr)
+		dash.Start()
+		defer dash.Stop()
+		progress = func(string) {} // the dashboard owns stderr
+	}
 	study, err := experiments.RunStudyContext(ctx, experiments.Config{
 		Seed:               *seed,
 		Scale:              *scale,
@@ -147,9 +181,7 @@ func run(args []string) error {
 		CheckpointPath:     *checkpointPath,
 		Resume:             *resume,
 		SATWorkers:         workersSAT,
-		Progress: func(msg string) {
-			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), msg)
-		},
+		Progress:           progress,
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) && *checkpointPath != "" {

@@ -34,18 +34,25 @@ func TestSmokeTraceAndCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	spans := 0
+	spans, jobs := 0, 0
 	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		var sr telemetry.SpanRecord
 		if err := json.Unmarshal(sc.Bytes(), &sr); err != nil {
 			t.Fatalf("trace line %d is not valid JSON: %v\n%s", spans+1, err, sc.Text())
 		}
-		if sr.Name != "job" || sr.Technique == "" || sr.Spec == "" {
-			t.Errorf("malformed span on line %d: %+v", spans+1, sr)
+		if sr.Name == "" || sr.SpanID == "" || sr.TraceID == "" {
+			t.Errorf("span on line %d missing name/IDs: %+v", spans+1, sr)
 		}
-		if sr.DurationNs <= 0 {
-			t.Errorf("span %s/%s has non-positive duration", sr.Technique, sr.Spec)
+		if sr.Name == "job" {
+			jobs++
+			if sr.Technique == "" || sr.Spec == "" {
+				t.Errorf("job span on line %d missing technique/spec: %+v", spans+1, sr)
+			}
+			if sr.DurationNs <= 0 {
+				t.Errorf("span %s/%s has non-positive duration", sr.Technique, sr.Spec)
+			}
 		}
 		spans++
 	}
@@ -54,6 +61,9 @@ func TestSmokeTraceAndCSV(t *testing.T) {
 	}
 	if spans == 0 {
 		t.Fatal("trace file contains no spans")
+	}
+	if jobs == 0 {
+		t.Fatal("trace file contains no job spans")
 	}
 
 	for _, name := range []string{

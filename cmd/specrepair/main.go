@@ -51,6 +51,7 @@ func run(args []string) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	trace := fs.String("trace", "", "write a JSONL span trace (one line per technique leg) to this file")
+	traceChrome := fs.String("trace-chrome", "", "write a Chrome trace_event JSON trace (load in Perfetto / chrome://tracing) to this file")
 	metricsAddr := fs.String("metrics-addr", "", "serve live /metrics (Prometheus) and /metrics.json on this address while running")
 	timeout := fs.Duration("timeout", 0, "per-leg wall-clock limit; a timed-out technique leg errors")
 	checkpointPath := fs.String("checkpoint", "", "journal completed technique legs to this JSONL file")
@@ -122,6 +123,7 @@ func run(args []string) error {
 	}
 
 	reg := telemetry.New()
+	var sinks []telemetry.SpanSink
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
@@ -133,7 +135,23 @@ func run(args []string) error {
 				fmt.Fprintln(os.Stderr, "specrepair: closing trace:", err)
 			}
 		}()
-		reg.SetSink(tw)
+		sinks = append(sinks, tw)
+	}
+	if *traceChrome != "" {
+		f, err := os.Create(*traceChrome)
+		if err != nil {
+			return fmt.Errorf("creating chrome trace file: %w", err)
+		}
+		cw := telemetry.NewChromeTraceWriter(f)
+		defer func() {
+			if err := cw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "specrepair: closing chrome trace:", err)
+			}
+		}()
+		sinks = append(sinks, cw)
+	}
+	if s := telemetry.MultiSink(sinks...); s != nil {
+		reg.SetSink(s)
 	}
 	if *metricsAddr != "" {
 		srv, err := telemetry.ServeMetrics(reg, *metricsAddr)
@@ -154,6 +172,12 @@ func run(args []string) error {
 	// falls through to the default handler and kills the process.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// The root span covers the whole invocation; each technique leg becomes a
+	// "job" child, mirroring the study runner's span shape.
+	root := reg.StartSpan("repair")
+	root.SetAttr("spec", path)
+	defer root.End()
 
 	var checkpoint *core.Checkpoint
 	if *checkpointPath != "" {
@@ -206,6 +230,11 @@ func run(args []string) error {
 		if *timeout > 0 {
 			legCtx, cancel = context.WithTimeout(ctx, *timeout)
 		}
+		legSpan := root.Child("job")
+		legSpan.SetLane(1)
+		legSpan.SetAttr("technique", name)
+		legSpan.SetAttr("spec", path)
+		legCtx = telemetry.ContextWithSpan(legCtx, legSpan)
 		out, err := tool.Repair(legCtx, problem)
 		cancel()
 		outcome := telemetry.OutcomeFailed
@@ -216,6 +245,7 @@ func run(args []string) error {
 			outcome = telemetry.OutcomeRepaired
 		}
 		reg.RecordJob(telemetry.JobRecord{
+			Span:          legSpan,
 			Technique:     name,
 			Spec:          path,
 			Start:         legStart,

@@ -79,18 +79,36 @@ type Analyzer struct {
 	// when an answer is computed, never what the answer is, and results cut
 	// short by cancellation are returned as errors and never cached.
 	ctx context.Context
+	// span, when non-nil, parents the trace spans of uncached analyses. Like
+	// ctx it never affects results or cache keys; it is captured once per
+	// WithContext bind so the per-query hot path never touches ctx.Value.
+	span *telemetry.Span
 }
 
 // WithContext returns a copy of the analyzer whose analyses are cancelled
 // when ctx is done. A cancelled analysis returns the context's error; nothing
 // partial enters the analysis cache. The receiver is unchanged, so one base
-// analyzer can serve many jobs, each bound to its own deadline.
+// analyzer can serve many jobs, each bound to its own deadline. Any trace
+// span bound to ctx becomes the parent of the copy's analysis spans.
 func (a *Analyzer) WithContext(ctx context.Context) *Analyzer {
 	if ctx == nil || ctx == context.Background() {
 		return a
 	}
 	cp := *a
 	cp.ctx = ctx
+	cp.span = telemetry.SpanFromContext(ctx)
+	return &cp
+}
+
+// WithSpan returns a copy of the analyzer whose analysis spans parent to sp
+// — techniques use it to nest oracle work under a round/iteration span
+// without rebinding the context. A nil sp returns the receiver unchanged.
+func (a *Analyzer) WithSpan(sp *telemetry.Span) *Analyzer {
+	if sp == nil || sp == a.span {
+		return a
+	}
+	cp := *a
+	cp.span = sp
 	return &cp
 }
 
@@ -166,6 +184,8 @@ func (a *Analyzer) RunCommand(mod *ast.Module, cmd *ast.Command) (*Result, error
 		if err != nil {
 			return nil, err
 		}
+		s.span = a.span.Child("analyzer.cmd")
+		defer s.span.End()
 		start := col.Clock()
 		res, err := s.run(cmd)
 		if err == nil {
@@ -186,6 +206,8 @@ func (a *Analyzer) RunCommand(mod *ast.Module, cmd *ast.Command) (*Result, error
 	if err != nil {
 		return nil, err
 	}
+	s.span = a.span.Child("analyzer.cmd")
+	defer s.span.End()
 	res, err := s.run(cmd)
 	if err != nil {
 		return nil, err
@@ -211,6 +233,8 @@ type session struct {
 	// returns the same verdicts as a single solver, while models — which
 	// could differ by winner — are never decoded.
 	verdictOnly bool
+	// span parents the session's solver spans (nil when tracing is off).
+	span *telemetry.Span
 }
 
 type scopeState struct {
@@ -302,6 +326,7 @@ func (s *session) state(sc ast.Scope) *scopeState {
 	} else {
 		st.solver = sat.NewSolver(base)
 	}
+	st.solver.SetSpan(s.span)
 	st.cb = translate.NewCNFBuilder(st.solver, st.tr.NumVars())
 	st.cb.AddAssert(translate.And(parts...))
 	return st
@@ -427,6 +452,8 @@ func (a *Analyzer) executeAllUncached(mod *ast.Module) ([]*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.span = a.span.Child("analyzer.execute_all")
+	defer s.span.End()
 	out := make([]*Result, 0, len(s.low.Commands))
 	for _, cmd := range s.low.Commands {
 		r, err := s.run(cmd)
@@ -476,6 +503,8 @@ func (a *Analyzer) passesAllUncached(mod *ast.Module) (bool, []*Result, error) {
 	if err != nil {
 		return false, nil, err
 	}
+	s.span = a.span.Child("analyzer.passes_all")
+	defer s.span.End()
 	var results []*Result
 	for _, cmd := range s.low.Commands {
 		r, err := s.run(cmd)
@@ -544,6 +573,8 @@ func (a *Analyzer) equisatBaselineUncached(gtCommands []*ast.Command, verdicts [
 	if err != nil {
 		return false, nil // malformed candidate: not a repair
 	}
+	s.span = a.span.Child("analyzer.equisat")
+	defer s.span.End()
 	for i, cmd := range gtCommands {
 		cmd := cmd.Clone()
 		if cmd.Block != nil {

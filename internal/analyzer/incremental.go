@@ -67,8 +67,22 @@ import (
 type Evaluator struct {
 	an  *Analyzer
 	inc *incSession
+	// span parents the per-candidate "candidate.eval" spans; defaults to the
+	// analyzer's span, techniques re-point it at their round spans.
+	span *telemetry.Span
 
 	stats EvaluatorStats
+}
+
+// SetSpan re-parents subsequent candidate evaluations' trace spans — a
+// technique calls this when it opens a round/iteration span so candidate
+// work nests under the round. Nil restores the analyzer's own span.
+func (e *Evaluator) SetSpan(sp *telemetry.Span) {
+	if sp != nil {
+		e.span = sp
+		return
+	}
+	e.span = e.an.span
 }
 
 // EvaluatorStats reports how an evaluator answered its queries so far.
@@ -90,7 +104,7 @@ func (e *Evaluator) Stats() EvaluatorStats { return e.stats }
 // Options.DisableIncremental is set, every query takes the fresh path;
 // results are identical either way.
 func (a *Analyzer) Evaluator(base *ast.Module) *Evaluator {
-	e := &Evaluator{an: a}
+	e := &Evaluator{an: a, span: a.span}
 	if a.opts.DisableIncremental {
 		return e
 	}
@@ -108,8 +122,11 @@ func (a *Analyzer) Evaluator(base *ast.Module) *Evaluator {
 // consulted read-only first; incremental answers are never written back
 // (they are verdict-only, and cache entries must come from fresh sessions).
 func (e *Evaluator) PassesAll(mod *ast.Module) (bool, error) {
+	sp := e.span.Child("candidate.eval")
+	defer sp.End()
 	if e.inc == nil {
-		return e.an.PassesAll(mod)
+		sp.SetAttr("path", "fresh")
+		return e.an.WithSpan(sp).PassesAll(mod)
 	}
 	col := e.an.opts.Telemetry
 	if e.an.cache() != nil {
@@ -119,20 +136,23 @@ func (e *Evaluator) PassesAll(mod *ast.Module) (bool, error) {
 			if pass, ok := rec.passesAll(mod.Commands); ok {
 				e.stats.CacheHits++
 				col.RecordLookup(telemetry.EPPassesAll, true, col.Since(start))
+				sp.SetAttr("path", "cache")
 				return pass, nil
 			}
 		}
 	}
 	start := col.Clock()
-	pass, ok := e.inc.passesAll(mod)
+	pass, ok := e.inc.passesAll(mod, sp)
 	if !ok {
 		e.stats.Fallbacks++
 		col.RecordIncrementalFallback()
-		return e.an.PassesAll(mod)
+		sp.SetAttr("path", "fallback")
+		return e.an.WithSpan(sp).PassesAll(mod)
 	}
 	e.stats.Queries++
 	col.RecordIncrementalQuery()
 	col.RecordLookup(telemetry.EPPassesAll, false, col.Since(start))
+	sp.SetAttr("path", "incremental")
 	return pass, nil
 }
 
@@ -243,10 +263,11 @@ func (s *incSession) build(sc ast.Scope) *incScope {
 	return st
 }
 
-// passesAll answers PassesAll for one candidate on the session. ok=false
-// means the candidate cannot be evaluated incrementally and the caller must
-// fall back to fresh solving; pass is then meaningless.
-func (s *incSession) passesAll(mod *ast.Module) (pass, ok bool) {
+// passesAll answers PassesAll for one candidate on the session, parenting
+// solver trace spans to sp. ok=false means the candidate cannot be evaluated
+// incrementally and the caller must fall back to fresh solving; pass is then
+// meaningless.
+func (s *incSession) passesAll(mod *ast.Module, sp *telemetry.Span) (pass, ok bool) {
 	if sigFingerprint(mod) != s.sigFP {
 		return false, false
 	}
@@ -290,6 +311,9 @@ func (s *incSession) passesAll(mod *ast.Module) (pass, ok bool) {
 			st.baseGates = len(st.gates)
 		}
 		col.RecordIncrementalCarryover(int64(st.solver.NumLearnts()))
+		// The solver outlives any one candidate; re-point its span parent at
+		// this candidate's span for the queries it answers here.
+		st.solver.SetSpan(sp)
 		status := st.solver.Solve(assumptions...)
 		if status == sat.StatusUnknown {
 			return false, false

@@ -396,9 +396,10 @@ func (r *Runner) EvaluateContext(ctx context.Context, suite *bench.Suite, factor
 	results := make(chan *Result, workers)
 	var wg sync.WaitGroup
 
+	parentSpan := telemetry.SpanFromContext(ctx)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// One collector per worker: a worker runs one job at a time, so
 			// bracketing each job with BeginJob/TakeJobEffort attributes the
@@ -425,6 +426,14 @@ func (r *Runner) EvaluateContext(ctx context.Context, suite *bench.Suite, factor
 					results <- res
 					continue
 				}
+				// One "job" span per (technique, spec), laned by worker index
+				// so traces render one track per runner worker. All nil no-ops
+				// when no sink is configured.
+				jobSpan := parentSpan.Child("job")
+				jobSpan.SetLane(w + 1)
+				jobSpan.SetAttr("technique", j.factory.Name)
+				jobSpan.SetAttr("spec", suite.Name+"/"+j.spec.Name)
+				jobCtx = telemetry.ContextWithSpan(jobCtx, jobSpan)
 				col.BeginJob()
 				start := time.Now()
 				res := evaluateOne(jobCtx, an, tool, j.factory.Name, j.spec)
@@ -451,10 +460,11 @@ func (r *Runner) EvaluateContext(ctx context.Context, suite *bench.Suite, factor
 					TestRuns:      res.Outcome.Stats.TestRuns,
 					Iterations:    res.Outcome.Stats.Iterations,
 					Effort:        col.TakeJobEffort(),
+					Span:          jobSpan,
 				})
 				results <- res
 			}
-		}()
+		}(w)
 	}
 
 	go func() {

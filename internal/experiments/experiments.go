@@ -134,6 +134,13 @@ func RunStudyContext(ctx context.Context, cfg Config) (*Study, error) {
 	study := &Study{Cache: cache, Telemetry: reg}
 	progress := cfg.Progress
 
+	// Root of the run's causal trace (nil — and free — without a span sink):
+	// study → phase → job → technique rounds → candidate evals → SAT solves.
+	root := reg.StartSpan("study")
+	root.SetAttr("seed", fmt.Sprint(cfg.Seed))
+	root.SetAttr("scale", fmt.Sprint(cfg.Scale))
+	defer root.End()
+
 	var checkpoint *core.Checkpoint
 	if cfg.CheckpointPath != "" {
 		var err error
@@ -155,10 +162,12 @@ func RunStudyContext(ctx context.Context, cfg Config) (*Study, error) {
 	// Binding the generator's analyzer to ctx makes even this phase
 	// interruptible (generation is deterministic and cheap relative to
 	// evaluation, so it is re-done rather than checkpointed on resume).
+	genSpan := root.Child("phase")
+	genSpan.SetAttr("name", "generate")
 	gen := bench.NewGenerator(analyzer.New(analyzer.Options{
 		Cache:     cache,
 		Telemetry: telemetry.NewCollector(reg),
-	}).WithContext(ctx))
+	}).WithContext(telemetry.ContextWithSpan(ctx, genSpan)))
 	if cfg.Scale > 1 {
 		gen.Scale = cfg.Scale
 	}
@@ -167,6 +176,7 @@ func RunStudyContext(ctx context.Context, cfg Config) (*Study, error) {
 	}
 	phaseStart := time.Now()
 	a4f, ar, err := gen.Both()
+	genSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("generating benchmarks: %w", err)
 	}
@@ -203,7 +213,10 @@ func RunStudyContext(ctx context.Context, cfg Config) (*Study, error) {
 		progress(fmt.Sprintf("evaluating %d techniques x %d A4F specs", len(factories), len(a4f.Specs)))
 	}
 	phaseStart = time.Now()
-	a4fEval, err := runner.EvaluateContext(ctx, a4f, factories)
+	a4fSpan := root.Child("phase")
+	a4fSpan.SetAttr("name", "evaluate_a4f")
+	a4fEval, err := runner.EvaluateContext(telemetry.ContextWithSpan(ctx, a4fSpan), a4f, factories)
+	a4fSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +225,10 @@ func RunStudyContext(ctx context.Context, cfg Config) (*Study, error) {
 		progress(fmt.Sprintf("evaluating %d techniques x %d ARepair specs", len(factories), len(ar.Specs)))
 	}
 	phaseStart = time.Now()
-	arEval, err := runner.EvaluateContext(ctx, ar, factories)
+	arSpan := root.Child("phase")
+	arSpan.SetAttr("name", "evaluate_arepair")
+	arEval, err := runner.EvaluateContext(telemetry.ContextWithSpan(ctx, arSpan), ar, factories)
+	arSpan.End()
 	if err != nil {
 		return nil, err
 	}

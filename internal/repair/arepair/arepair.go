@@ -85,7 +85,10 @@ func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, er
 			return out, err
 		}
 		out.Stats.Iterations++
-		improved, cand, tried, err := t.improveOnce(ctx, current, p.Tests, best)
+		iterCtx, iterSpan := telemetry.StartChild(ctx, "arepair.iteration")
+		improved, cand, tried, err := t.improveOnce(iterCtx, current, p.Tests, best)
+		iterSpan.SetMetric("candidates", int64(tried))
+		iterSpan.End()
 		out.Stats.CandidatesTried += tried
 		out.Stats.TestRuns += tried
 		t.testRuns.Add(int64(tried))

@@ -109,8 +109,12 @@ func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, er
 	}
 
 	// Collect (counterexample, nearest satisfying instance) pairs per
-	// failing check.
-	pairs, err := t.instancePairs(ctx, an, p.Faulty)
+	// failing check. The localize span groups the counterexample reruns and
+	// the PMaxSAT nearest-instance solves.
+	locSpan := telemetry.SpanFromContext(ctx).Child("atr.localize")
+	pairs, err := t.instancePairs(telemetry.ContextWithSpan(ctx, locSpan), an.WithSpan(locSpan), p.Faulty)
+	locSpan.SetMetric("pairs", int64(len(pairs)))
+	locSpan.End()
 	if err != nil {
 		return out, err
 	}
@@ -149,6 +153,16 @@ func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, er
 	// (templates never touch signature paragraphs, so the shared bounds and
 	// learned clauses apply to every candidate).
 	oracle := an.Evaluator(p.Faulty)
+
+	// The enumerate span groups every template validation; candidate.eval
+	// spans nest under it via the oracle.
+	enumSpan := telemetry.SpanFromContext(ctx).Child("atr.enumerate")
+	enumSpan.SetMetric("sites", int64(len(sites)))
+	oracle.SetSpan(enumSpan)
+	defer func() {
+		enumSpan.SetMetric("candidates", int64(out.Stats.CandidatesTried))
+		enumSpan.End()
+	}()
 
 	seen := map[string]bool{printer.Module(p.Faulty): true}
 	for _, s := range sites {
@@ -302,6 +316,7 @@ func (t *Tool) nearestSatisfying(ctx context.Context, low *ast.Module, info *typ
 	ms.MaxConflicts = analyzer.DefaultMaxConflicts
 	ms.Context = ctx
 	ms.Telemetry = t.opts.Telemetry
+	ms.Span = telemetry.SpanFromContext(ctx)
 	cb := translate.NewCNFBuilder(ms, tr.NumVars())
 	cb.AddAssert(translate.And(parts...))
 

@@ -151,7 +151,19 @@ func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, er
 	frontier := []*ast.Module{p.Faulty.Clone()}
 	seen := map[string]bool{printer.Module(p.Faulty): true}
 
+	// One trace span per BFS depth; candidate evaluations nest under the
+	// active one. The deferred End closes whichever span an early return
+	// leaves open (End is idempotent).
+	parent := telemetry.SpanFromContext(ctx)
+	var depthSpan *telemetry.Span
+	defer func() { depthSpan.End() }()
+
 	for depth := 1; depth <= t.opts.MaxDepth; depth++ {
+		depthSpan.End()
+		depthSpan = parent.Child("beafix.depth")
+		depthSpan.SetMetric("depth", int64(depth))
+		depthSpan.SetMetric("frontier", int64(len(frontier)))
+		oracle.SetSpan(depthSpan)
 		var next []*ast.Module
 		for _, base := range frontier {
 			eng, err := mutation.NewEngine(base)

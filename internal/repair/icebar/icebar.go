@@ -134,7 +134,12 @@ func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, er
 		}
 		out.Stats.Iterations++
 		t.iterations.Inc()
-		innerOut, err := t.inner.Repair(ctx, repair.Problem{
+		// The iteration span nests the inner ARepair run (via iterCtx), the
+		// oracle validation, and the suite refinement under one node.
+		iterCtx, iterSpan := telemetry.StartChild(ctx, "icebar.iteration")
+		oracle.SetSpan(iterSpan)
+		iterAn := an.WithSpan(iterSpan)
+		innerOut, err := t.inner.Repair(iterCtx, repair.Problem{
 			Name:   p.Name,
 			Faulty: current,
 			Tests:  suite,
@@ -142,6 +147,7 @@ func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, er
 		out.Stats.CandidatesTried += innerOut.Stats.CandidatesTried
 		out.Stats.TestRuns += innerOut.Stats.TestRuns
 		if err != nil {
+			iterSpan.End()
 			return out, err
 		}
 		cand := innerOut.Candidate
@@ -153,16 +159,19 @@ func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, er
 		pass, err := oracle.PassesAll(cand)
 		out.Stats.AnalyzerCalls++
 		if err != nil {
+			iterSpan.End()
 			return out, err
 		}
 		if pass {
+			iterSpan.End()
 			out.Repaired = true
 			out.Candidate = cand
 			return out, nil
 		}
 
 		// Overfit: harvest counterexamples of the candidate into tests.
-		added, err := t.refineSuite(an, cand, suite, iter+1)
+		added, err := t.refineSuite(iterAn, cand, suite, iter+1)
+		iterSpan.End()
 		if err != nil {
 			return out, err
 		}

@@ -85,6 +85,12 @@ func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, er
 		{Role: llm.RoleUser, Content: llm.BuildRepairPrompt(printer.Module(p.Faulty), llm.PromptOptions{})},
 	}
 
+	// One span per proposal round; the deferred End closes whichever span an
+	// early return leaves open (End is idempotent).
+	parent := telemetry.SpanFromContext(ctx)
+	var roundSpan *telemetry.Span
+	defer func() { roundSpan.End() }()
+
 	var best *ast.Module
 	for round := 0; round < t.opts.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
@@ -92,7 +98,14 @@ func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, er
 		}
 		out.Stats.Iterations++
 		t.rounds.Inc()
+		roundSpan.End()
+		roundSpan = parent.Child("multiround.round")
+		roundSpan.SetMetric("round", int64(round+1))
+		llmSpan := roundSpan.Child("llm.complete")
+		llmSpan.SetAttr("agent", "repair")
 		reply, err := t.opts.Client.Complete(msgs)
+		llmSpan.SetMetric("reply_bytes", int64(len(reply)))
+		llmSpan.End()
 		if err != nil {
 			return out, fmt.Errorf("multi-round completion: %w", err)
 		}
@@ -105,7 +118,7 @@ func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, er
 			feedback = llm.BuildNoFeedback()
 		} else {
 			best = cand
-			failed, cex, pass, err := t.validate(an, cand)
+			failed, cex, pass, err := t.validate(an.WithSpan(roundSpan), cand)
 			out.Stats.AnalyzerCalls++
 			if err != nil {
 				if cerr := ctx.Err(); cerr != nil {
@@ -117,7 +130,7 @@ func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, er
 				out.Candidate = cand
 				return out, nil
 			}
-			feedback, err = t.buildFeedback(cand, failed, cex)
+			feedback, err = t.buildFeedback(roundSpan, cand, failed, cex)
 			if err != nil {
 				feedback = llm.BuildNoFeedback()
 			}
@@ -162,7 +175,8 @@ func (t *Tool) validate(an *analyzer.Analyzer, cand *ast.Module) (failed []strin
 }
 
 // buildFeedback renders the between-round message per the feedback level.
-func (t *Tool) buildFeedback(cand *ast.Module, failed []string, cex *instance.Instance) (string, error) {
+// The span parents the Prompt Agent's completion in the Auto setting.
+func (t *Tool) buildFeedback(sp *telemetry.Span, cand *ast.Module, failed []string, cex *instance.Instance) (string, error) {
 	switch t.opts.Feedback {
 	case llm.FeedbackNone:
 		return llm.BuildNoFeedback(), nil
@@ -173,7 +187,11 @@ func (t *Tool) buildFeedback(cand *ast.Module, failed []string, cex *instance.In
 			{Role: llm.RoleSystem, Content: llm.PromptAgentSystemPrompt},
 			{Role: llm.RoleUser, Content: llm.BuildPromptAgentRequest(printer.Module(cand), failed, cex)},
 		}
+		llmSpan := sp.Child("llm.complete")
+		llmSpan.SetAttr("agent", "prompt")
 		guidance, err := t.opts.Client.Complete(req)
+		llmSpan.SetMetric("reply_bytes", int64(len(guidance)))
+		llmSpan.End()
 		if err != nil {
 			return "", err
 		}

@@ -107,11 +107,19 @@ func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, er
 		promptOpts.PassAssertion = p.Hints.PassAssertion
 	}
 
+	// One round: a single completion followed by one oracle validation.
+	roundCtx, roundSpan := telemetry.StartChild(ctx, "singleround.round")
+	roundSpan.SetAttr("setting", t.opts.Setting.String())
+	defer roundSpan.End()
+
 	msgs := []llm.Message{
 		{Role: llm.RoleSystem, Content: llm.RepairSystemPrompt},
 		{Role: llm.RoleUser, Content: llm.BuildRepairPrompt(printer.Module(p.Faulty), promptOpts)},
 	}
+	llmSpan := roundSpan.Child("llm.complete")
 	reply, err := t.opts.Client.Complete(msgs)
+	llmSpan.SetMetric("reply_bytes", int64(len(reply)))
+	llmSpan.End()
 	if err != nil {
 		return out, fmt.Errorf("single-round completion: %w", err)
 	}
@@ -129,7 +137,7 @@ func (t *Tool) Repair(ctx context.Context, p repair.Problem) (repair.Outcome, er
 	}
 	out.Candidate = cand
 
-	pass, err := repair.OracleAllCommandsPass(ctx, t.an, cand)
+	pass, err := repair.OracleAllCommandsPass(roundCtx, t.an, cand)
 	out.Stats.AnalyzerCalls++
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {

@@ -1,5 +1,7 @@
 package sat
 
+import "specrepair/internal/telemetry"
+
 // Engine is the solving interface shared by a single *Solver and a
 // *Portfolio, so callers (the analyzer's per-scope sessions) can swap one
 // for the other. It matches translate.ClauseSink plus the solve/model/stats
@@ -14,6 +16,9 @@ type Engine interface {
 	Model() []Tribool
 	ModelValue(v int) bool
 	Stats() Stats
+	// SetSpan parents subsequent solves' trace spans to sp (nil detaches;
+	// zero cost when tracing is off).
+	SetSpan(sp *telemetry.Span)
 }
 
 var (

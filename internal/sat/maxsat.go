@@ -33,6 +33,9 @@ type MaxSolver struct {
 	// Telemetry is handed to every underlying SAT solver, so each
 	// iteration of the linear search records its own solve.
 	Telemetry *telemetry.Collector
+	// Span, when non-nil, parents the sat.solve trace spans of every
+	// underlying SAT call.
+	Span *telemetry.Span
 }
 
 // NewMaxSolver returns an empty MaxSAT solver over numVars problem variables.
@@ -122,6 +125,7 @@ func (m *MaxSolver) Solve() Result {
 
 func (m *MaxSolver) buildSolver() *Solver {
 	s := NewSolver(Options{MaxConflicts: m.MaxConflicts, Context: m.Context, Telemetry: m.Telemetry})
+	s.SetSpan(m.Span)
 	for s.NumVars() < m.numVars {
 		s.NewVar()
 	}

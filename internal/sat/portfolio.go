@@ -3,6 +3,8 @@ package sat
 import (
 	"context"
 	"sync"
+
+	"specrepair/internal/telemetry"
 )
 
 // Portfolio defaults.
@@ -66,6 +68,10 @@ type PortfolioOptions struct {
 // A Portfolio is not safe for concurrent use, mirroring *Solver.
 type Portfolio struct {
 	opts PortfolioOptions
+	// span parents the engine's trace spans: easy solo solves emit directly
+	// under it, hard queries open a "portfolio.race" child with one
+	// "portfolio.worker" lane per racer.
+	span *telemetry.Span
 
 	numVars int
 	clauses [][]Lit // master CNF, in AddClause order, for worker rebuilds
@@ -284,10 +290,46 @@ func (p *Portfolio) record(winner string, exported, imported int64) {
 	}
 }
 
+// SetSpan parents subsequent solves' trace spans to sp (nil detaches).
+func (p *Portfolio) SetSpan(sp *telemetry.Span) {
+	p.span = sp
+	if p.ref != nil {
+		p.ref.SetSpan(sp)
+	}
+}
+
+// workerSpan opens one "portfolio.worker" lane under a race span. Lanes are
+// offset from the race's own lane so each racer renders as its own Perfetto
+// track without colliding with other runner workers' portfolios.
+func workerSpan(race *telemetry.Span, config string, idx int) *telemetry.Span {
+	if race == nil {
+		return nil
+	}
+	ws := race.Child("portfolio.worker")
+	ws.SetAttr("config", config)
+	ws.SetLane(race.Lane()*100 + idx + 1)
+	return ws
+}
+
+// endWorkerSpan closes a racer's lane with its effort snapshot.
+func endWorkerSpan(ws *telemetry.Span, st Stats) {
+	if ws == nil {
+		return
+	}
+	ws.SetMetric("conflicts", st.Conflicts)
+	ws.SetMetric("decisions", st.Decisions)
+	ws.SetMetric("learned", st.Learned)
+	ws.SetMetric("imported", st.Imported)
+	ws.End()
+}
+
 // Solve races the configured workers on the query and returns the first
 // definitive verdict.
 func (p *Portfolio) Solve(assumptions ...Lit) Status {
 	p.ensureRef()
+	// The reference may have been rebuilt since SetSpan; re-attach so easy
+	// solo solves trace under the engine's span.
+	p.ref.SetSpan(p.span)
 	if p.unsat {
 		return StatusUnsat
 	}
@@ -357,11 +399,15 @@ func (p *Portfolio) solveDet(asm []Lit) Status {
 	}
 
 	// Stage 2: the query is hard — launch the race.
+	race := p.span.Child("portfolio.race")
+	race.SetMetric("workers", int64(p.opts.Workers))
 	var simp *Inprocessed
 	helperClauses := p.clauses
 	if !p.opts.DisableInprocess {
 		simp = p.simplified(asm)
 		if p.unsat {
+			race.SetAttr("winner", "inprocess")
+			race.End()
 			return StatusUnsat
 		}
 		helperClauses = simp.Clauses
@@ -372,6 +418,9 @@ func (p *Portfolio) solveDet(asm []Lit) Status {
 	defer cancelRef()
 	defer cancelHelp()
 
+	refSpan := workerSpan(race, "ref", 0)
+	p.ref.SetSpan(refSpan)
+	refStats0 := p.ref.Stats()
 	p.ref.SetContext(refCtx)
 	remaining := int64(0)
 	if budget > 0 {
@@ -386,6 +435,7 @@ func (p *Portfolio) solveDet(asm []Lit) Status {
 		pool = NewClausePool(p.opts.ShareMaxLen, p.opts.ShareMaxLBD)
 	}
 	helpers := make([]*helperWorker, n)
+	helperSpans := make([]*telemetry.Span, n)
 	for i := range helpers {
 		cfg := helperConfig(i)
 		opts := cfg.options(p.opts.Base)
@@ -394,6 +444,8 @@ func (p *Portfolio) solveDet(asm []Lit) Status {
 			opts.Share = pool.Connect(i, true) // buffered: barrier sharing
 		}
 		helpers[i] = &helperWorker{s: buildWorker(opts, p.numVars, helperClauses), name: cfg.name}
+		helperSpans[i] = workerSpan(race, cfg.name, i+1)
+		helpers[i].s.SetSpan(helperSpans[i])
 	}
 	helpCh := make(chan helpResult, 1)
 	go p.runHelperRounds(helpers, pool, asm, helpCtx, helpCh)
@@ -430,6 +482,15 @@ func (p *Portfolio) solveDet(asm []Lit) Status {
 	if !p.refTainted {
 		p.ref.SetContext(p.opts.Base.Context)
 	}
+	// Both sides have stopped solving: close the per-worker lanes (workers
+	// before the race span, so timestamps nest), then re-attach the
+	// reference to the engine span for later solo queries.
+	refDelta := p.ref.Stats()
+	refDelta.Conflicts -= refStats0.Conflicts
+	refDelta.Decisions -= refStats0.Decisions
+	refDelta.Learned -= refStats0.Learned
+	endWorkerSpan(refSpan, refDelta)
+	p.ref.SetSpan(p.span)
 
 	if res == StatusSat {
 		if winHelper >= 0 {
@@ -443,9 +504,10 @@ func (p *Portfolio) solveDet(asm []Lit) Status {
 		}
 	}
 	var imported int64
-	for _, h := range helpers {
+	for i, h := range helpers {
 		p.agg.Add(h.s.Stats())
 		imported += h.s.Imported
+		endWorkerSpan(helperSpans[i], h.s.Stats())
 	}
 	var exported int64
 	if pool != nil {
@@ -457,6 +519,8 @@ func (p *Portfolio) solveDet(asm []Lit) Status {
 	} else if res == StatusUnknown {
 		name = ""
 	}
+	race.SetAttr("winner", name)
+	race.End()
 	p.record(name, exported, imported)
 	return res
 }
@@ -536,6 +600,10 @@ func (p *Portfolio) solveFree(asm []Lit) Status {
 		cnf = simp.Clauses
 	}
 
+	race := p.span.Child("portfolio.race")
+	race.SetMetric("workers", int64(p.opts.Workers))
+	race.SetAttr("mode", "free")
+
 	ctx, cancel := context.WithCancel(p.baseContext())
 	defer cancel()
 	k := p.opts.Workers
@@ -549,6 +617,7 @@ func (p *Portfolio) solveFree(asm []Lit) Status {
 	}
 	workers := make([]*Solver, k)
 	names := make([]string, k)
+	spans := make([]*telemetry.Span, k)
 	ch := make(chan freeResult, k)
 	for i := 0; i < k; i++ {
 		cfg := portfolioConfigs[i%len(portfolioConfigs)]
@@ -559,6 +628,8 @@ func (p *Portfolio) solveFree(asm []Lit) Status {
 		}
 		workers[i] = buildWorker(opts, p.numVars, cnf)
 		names[i] = cfg.name
+		spans[i] = workerSpan(race, cfg.name, i)
+		workers[i].SetSpan(spans[i])
 		go func(i int) { ch <- freeResult{i, workers[i].Solve(asm...)} }(i)
 	}
 
@@ -580,9 +651,10 @@ func (p *Portfolio) solveFree(asm []Lit) Status {
 		p.model = m
 	}
 	var imported int64
-	for _, w := range workers {
+	for i, w := range workers {
 		p.agg.Add(w.Stats())
 		imported += w.Imported
+		endWorkerSpan(spans[i], w.Stats())
 	}
 	var exported int64
 	if pool != nil {
@@ -592,6 +664,8 @@ func (p *Portfolio) solveFree(asm []Lit) Status {
 	if winIdx >= 0 {
 		name = names[winIdx]
 	}
+	race.SetAttr("winner", name)
+	race.End()
 	p.record(name, exported, imported)
 	return res
 }

@@ -86,6 +86,8 @@ const (
 // Solver is a CDCL SAT solver. It is not safe for concurrent use.
 type Solver struct {
 	opts Options
+	// span, when non-nil, parents one "sat.solve" trace span per Solve call.
+	span *telemetry.Span
 
 	// Normalized knobs (zero Options fields replaced by defaults).
 	restartBase int64
@@ -174,6 +176,11 @@ func NewSolver(opts Options) *Solver {
 // this to hand each racing worker a per-query context derived from the
 // caller's without rebuilding the solver.
 func (s *Solver) SetContext(ctx context.Context) { s.opts.Context = ctx }
+
+// SetSpan parents subsequent solves' trace spans to sp: each Solve call then
+// emits one "sat.solve" child carrying its conflict/decision/propagation
+// deltas. Nil (the default) keeps solving span-free at zero cost.
+func (s *Solver) SetSpan(sp *telemetry.Span) { s.span = sp }
 
 // Stats is a point-in-time snapshot of solver effort, aggregatable across
 // the workers of a portfolio.
@@ -614,15 +621,25 @@ func (s *Solver) SolveBudget(budget int64, assumptions ...Lit) Status {
 }
 
 func (s *Solver) solveInstrumented(assumptions []Lit, maxConflicts int64) Status {
-	col := s.opts.Telemetry
-	if col == nil {
+	col, parent := s.opts.Telemetry, s.span
+	if col == nil && parent == nil {
 		return s.solve(assumptions, maxConflicts)
 	}
+	child := parent.Child("sat.solve")
 	start := time.Now()
 	c0, d0, p0 := s.Conflicts, s.Decisions, s.Propagations
 	st := s.solve(assumptions, maxConflicts)
-	col.RecordSolve(time.Since(start), s.Conflicts-c0, s.Decisions-d0, s.Propagations-p0,
-		st == StatusUnknown)
+	if col != nil {
+		col.RecordSolve(time.Since(start), s.Conflicts-c0, s.Decisions-d0, s.Propagations-p0,
+			st == StatusUnknown)
+	}
+	if child != nil {
+		child.SetAttr("status", st.String())
+		child.SetMetric("conflicts", s.Conflicts-c0)
+		child.SetMetric("decisions", s.Decisions-d0)
+		child.SetMetric("propagations", s.Propagations-p0)
+		child.End()
+	}
 	return st
 }
 

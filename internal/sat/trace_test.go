@@ -1,0 +1,142 @@
+package sat
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"specrepair/internal/telemetry"
+)
+
+// traceSink records spans in memory for assertions.
+type traceSink struct {
+	mu   sync.Mutex
+	recs []telemetry.SpanRecord
+}
+
+func (c *traceSink) Record(rec telemetry.SpanRecord) {
+	c.mu.Lock()
+	c.recs = append(c.recs, rec)
+	c.mu.Unlock()
+}
+
+func (c *traceSink) byKind(kind string) []telemetry.SpanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []telemetry.SpanRecord
+	for _, r := range c.recs {
+		if r.Name == kind {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestSolverSpan checks that a solver with a span emits one sat.solve child
+// per Solve call, with status and effort metrics.
+func TestSolverSpan(t *testing.T) {
+	sink := &traceSink{}
+	reg := telemetry.New()
+	reg.SetSink(sink)
+	parent := reg.StartSpan("test")
+
+	s := NewSolver(Options{})
+	s.SetSpan(parent)
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	s.AddClause(NegLit(a))
+	if st := s.Solve(); st != StatusSat {
+		t.Fatalf("status %v", st)
+	}
+	parent.End()
+
+	solves := sink.byKind("sat.solve")
+	if len(solves) != 1 {
+		t.Fatalf("got %d sat.solve spans, want 1", len(solves))
+	}
+	sr := solves[0]
+	if sr.ParentID != parent.ID() {
+		t.Fatalf("solve parent %s, want %s", sr.ParentID, parent.ID())
+	}
+	if sr.Attrs["status"] != "SAT" {
+		t.Fatalf("status attr %q", sr.Attrs["status"])
+	}
+	if _, ok := sr.Metrics["decisions"]; !ok {
+		t.Fatalf("no decisions metric: %v", sr.Metrics)
+	}
+}
+
+// TestPortfolioSpans forces the deterministic race (HardThreshold 1) and
+// checks the span shape: a portfolio.race span with one portfolio.worker
+// child per racer, workers nested inside the race, and a winner attribute.
+func TestPortfolioSpans(t *testing.T) {
+	sink := &traceSink{}
+	reg := telemetry.New()
+	reg.SetSink(sink)
+	parent := reg.StartSpan("candidate.eval")
+
+	rng := rand.New(rand.NewSource(7))
+	numVars := 18
+	cnf := randomCNF(rng, numVars, 80, 3)
+	p := buildPortfolio(PortfolioOptions{Workers: 4, HardThreshold: 1, Quantum: 64}, numVars, cnf)
+	p.SetSpan(parent)
+	p.Solve()
+	parent.End()
+
+	races := sink.byKind("portfolio.race")
+	if len(races) == 0 {
+		t.Fatal("no portfolio.race span despite HardThreshold 1")
+	}
+	race := races[0]
+	if race.ParentID != parent.ID() {
+		t.Fatalf("race parent %s, want %s", race.ParentID, parent.ID())
+	}
+	if race.Attrs["winner"] == "" {
+		t.Fatal("race has no winner attribute")
+	}
+	workers := sink.byKind("portfolio.worker")
+	if len(workers) == 0 {
+		t.Fatal("no portfolio.worker spans")
+	}
+	for _, w := range workers {
+		if w.ParentID != race.SpanID {
+			t.Fatalf("worker parent %s, want race %s", w.ParentID, race.SpanID)
+		}
+		if w.Attrs["config"] == "" {
+			t.Fatal("worker has no config attribute")
+		}
+		if w.StartUnixNs < race.StartUnixNs ||
+			w.StartUnixNs+w.DurationNs > race.StartUnixNs+race.DurationNs {
+			t.Fatalf("worker interval [%d,+%d] not nested in race [%d,+%d]",
+				w.StartUnixNs, w.DurationNs, race.StartUnixNs, race.DurationNs)
+		}
+	}
+	// Every sat.solve parents either to the portfolio's own span (solo
+	// stage-1 solves) or to a racing worker's span.
+	workerIDs := map[string]bool{}
+	for _, w := range workers {
+		workerIDs[w.SpanID] = true
+	}
+	for _, s := range sink.byKind("sat.solve") {
+		if s.ParentID != parent.ID() && !workerIDs[s.ParentID] {
+			t.Fatalf("sat.solve parent %s is neither the portfolio span %s nor a worker", s.ParentID, parent.ID())
+		}
+	}
+}
+
+// TestSolverSpanUntracedFree: with no sink the solver span path must stay
+// nil and Solve must work unchanged.
+func TestSolverSpanUntracedFree(t *testing.T) {
+	reg := telemetry.New() // no sink
+	if sp := reg.StartSpan("x"); sp != nil {
+		t.Fatal("span without sink")
+	}
+	s := NewSolver(Options{})
+	s.SetSpan(nil)
+	v := s.NewVar()
+	s.AddClause(PosLit(v))
+	if st := s.Solve(); st != StatusSat {
+		t.Fatalf("status %v", st)
+	}
+}

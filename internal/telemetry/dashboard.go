@@ -1,0 +1,192 @@
+// Live ANSI terminal dashboard over the registry's active-span tracker: an
+// in-flight job table (worker, technique, spec, and the deepest span each job
+// is currently inside), cumulative self-time ranking per span kind, and a
+// runtime health sampler (goroutines, heap, GC pauses).
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Dashboard periodically redraws a status screen to a terminal writer. It
+// requires TrackActive(true) on the registry; without it the screen stays
+// empty but nothing breaks.
+type Dashboard struct {
+	reg      *Registry
+	w        io.Writer
+	interval time.Duration
+	start    time.Time
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewDashboard returns a dashboard redrawing every 500ms.
+func NewDashboard(reg *Registry, w io.Writer) *Dashboard {
+	return &Dashboard{reg: reg, w: w, interval: 500 * time.Millisecond}
+}
+
+// Start begins the redraw loop in a goroutine. Call Stop to end it.
+func (d *Dashboard) Start() {
+	d.start = time.Now()
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	fmt.Fprint(d.w, "\x1b[?25l") // hide cursor
+	go func() {
+		defer close(d.done)
+		t := time.NewTicker(d.interval)
+		defer t.Stop()
+		for {
+			d.redraw()
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// Stop halts the loop, draws a final frame, and restores the cursor.
+func (d *Dashboard) Stop() {
+	if d.stop == nil {
+		return
+	}
+	close(d.stop)
+	<-d.done
+	d.redraw()
+	fmt.Fprint(d.w, "\x1b[?25h\n") // show cursor
+}
+
+func (d *Dashboard) redraw() {
+	var b bytes.Buffer
+	b.WriteString("\x1b[H\x1b[2J") // home + clear
+
+	active := d.reg.ActiveSpans()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	lastPause := time.Duration(0)
+	if ms.NumGC > 0 {
+		lastPause = time.Duration(ms.PauseNs[(ms.NumGC+255)%256])
+	}
+	fmt.Fprintf(&b, "specrepair trace dashboard — elapsed %s | spans in flight %d | goroutines %d | heap %s | last GC pause %s\n\n",
+		shortDur(time.Since(d.start)), len(active), runtime.NumGoroutine(),
+		shortBytes(ms.HeapAlloc), shortDur(lastPause))
+
+	d.writeJobs(&b, active)
+	d.writeKinds(&b)
+
+	d.w.Write(b.Bytes())
+}
+
+// writeJobs renders the in-flight job table. Each active span is attributed
+// to its enclosing "job" ancestor; the job's "current" span is its
+// most-recently started active descendant.
+func (d *Dashboard) writeJobs(b *bytes.Buffer, active []*Span) {
+	current := map[*Span]*Span{}
+	for _, s := range active {
+		j := s
+		for j != nil && j.Kind() != "job" {
+			j = j.ActiveParent()
+		}
+		if j == nil {
+			continue
+		}
+		if cur, ok := current[j]; !ok || s.Start().After(cur.Start()) {
+			current[j] = s
+		}
+	}
+	jobs := make([]*Span, 0, len(current))
+	for j := range current {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, z int) bool { return jobs[a].Lane() < jobs[z].Lane() })
+
+	fmt.Fprintf(b, "%-4s %-22s %-28s %8s  %s\n", "LANE", "TECHNIQUE", "SPEC", "ELAPSED", "CURRENT SPAN")
+	now := time.Now()
+	for _, j := range jobs {
+		cur := current[j]
+		curDesc := cur.Kind()
+		if cur == j {
+			curDesc = "(job)"
+		}
+		fmt.Fprintf(b, "%-4d %-22s %-28s %8s  %s (%s)\n",
+			j.Lane(), clip(j.Attr("technique"), 22), clip(j.Attr("spec"), 28),
+			shortDur(now.Sub(j.Start())), curDesc, shortDur(now.Sub(cur.Start())))
+	}
+	if len(jobs) == 0 {
+		b.WriteString("(no jobs in flight)\n")
+	}
+	b.WriteByte('\n')
+}
+
+// writeKinds renders the top span kinds by cumulative self time with bars.
+func (d *Dashboard) writeKinds(b *bytes.Buffer) {
+	kinds := d.reg.KindSelfTimes()
+	type kv struct {
+		kind string
+		ns   int64
+	}
+	rows := make([]kv, 0, len(kinds))
+	for k, v := range kinds {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(a, z int) bool {
+		if rows[a].ns != rows[z].ns {
+			return rows[a].ns > rows[z].ns
+		}
+		return rows[a].kind < rows[z].kind
+	})
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	if len(rows) == 0 {
+		return
+	}
+	max := rows[0].ns
+	b.WriteString("SELF TIME BY SPAN KIND\n")
+	for _, r := range rows {
+		width := 0
+		if max > 0 {
+			width = int(int64(30) * r.ns / max)
+		}
+		fmt.Fprintf(b, "%-22s %10s  %s\n", r.kind,
+			shortDur(time.Duration(r.ns)), strings.Repeat("█", width))
+	}
+}
+
+func shortDur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	case d >= time.Second:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+func shortBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.0fKiB", float64(n)/(1<<10))
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

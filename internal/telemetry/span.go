@@ -7,12 +7,20 @@ import (
 	"sync"
 )
 
-// SpanRecord is the JSONL wire form of one finished job span. Every line of
-// a trace file is one SpanRecord encoded with encoding/json.
+// SpanRecord is the JSONL wire form of one finished span. Every line of a
+// trace file is one SpanRecord encoded with encoding/json. Records carry
+// hierarchy fields (trace/span/parent IDs) when produced by the Span tracer;
+// legacy flat traces omit them, and old readers ignore them.
 type SpanRecord struct {
 	Name      string `json:"name"`
 	Technique string `json:"technique,omitempty"`
 	Spec      string `json:"spec,omitempty"`
+	// Hierarchy: TraceID groups one run's tree, SpanID identifies this span,
+	// ParentID is empty on roots. Lane is the display track (worker index).
+	TraceID  string `json:"trace_id,omitempty"`
+	SpanID   string `json:"span_id,omitempty"`
+	ParentID string `json:"parent_id,omitempty"`
+	Lane     int    `json:"lane,omitempty"`
 	// StartUnixNs is the span's wall-clock start (Unix nanoseconds).
 	StartUnixNs int64  `json:"start_unix_ns"`
 	DurationNs  int64  `json:"duration_ns"`
@@ -36,10 +44,27 @@ type SpanRecord struct {
 	IncQueries        int64 `json:"inc_queries,omitempty"`
 	IncFallbacks      int64 `json:"inc_fallbacks,omitempty"`
 	IncCarriedLearnts int64 `json:"inc_carried_learnts,omitempty"`
+
+	// Attrs and Metrics are the tracer's typed span payload (empty on job
+	// records, whose well-known fields live above).
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Metrics map[string]int64  `json:"metrics,omitempty"`
 }
 
-// span converts a JobRecord into its wire form.
+// span converts a JobRecord into its wire form, stamping the hierarchy IDs
+// when the job ran under a trace span.
 func (jr JobRecord) span() SpanRecord {
+	rec := jr.wire()
+	if sp := jr.Span; sp != nil {
+		rec.TraceID = sp.TraceID()
+		rec.SpanID = sp.ID()
+		rec.ParentID = sp.ParentID()
+		rec.Lane = sp.Lane()
+	}
+	return rec
+}
+
+func (jr JobRecord) wire() SpanRecord {
 	return SpanRecord{
 		Name:              "job",
 		Technique:         jr.Technique,
@@ -79,6 +104,7 @@ type TraceWriter struct {
 	bw  *bufio.Writer
 	enc *json.Encoder
 	c   io.Closer
+	err error // first Record failure, surfaced by Flush/Close
 }
 
 // NewTraceWriter wraps w. When w is also an io.Closer, Close closes it
@@ -92,19 +118,27 @@ func NewTraceWriter(w io.Writer) *TraceWriter {
 	return t
 }
 
-// Record implements SpanSink. Encoding errors are deliberately dropped:
-// tracing must never fail the run it observes.
+// Record implements SpanSink. A failing encode never fails the run it
+// observes, but the first error is latched and surfaced by Flush/Close so a
+// truncated trace is detected instead of silently half-written.
 func (t *TraceWriter) Record(rec SpanRecord) {
 	t.mu.Lock()
-	_ = t.enc.Encode(rec)
+	if err := t.enc.Encode(rec); err != nil && t.err == nil {
+		t.err = err
+	}
 	t.mu.Unlock()
 }
 
-// Flush drains the buffer to the underlying writer.
+// Flush drains the buffer to the underlying writer. It returns the first
+// error seen by any Record (or the flush error itself).
 func (t *TraceWriter) Flush() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.bw.Flush()
+	ferr := t.bw.Flush()
+	if t.err != nil {
+		return t.err
+	}
+	return ferr
 }
 
 // Close flushes and closes the underlying writer when it is closable.

@@ -125,11 +125,26 @@ type Registry struct {
 	hists    sync.Map // string -> *Histogram
 	gauges   sync.Map // string -> func() int64
 
+	// sinkv holds the installed SpanSink (boxed so the pointer can be read
+	// without Registry.mu on every span emission).
+	sinkv atomic.Pointer[sinkHolder]
+
+	// spanIDs allocates trace-wide unique span IDs; see tracer.go.
+	spanIDs atomic.Uint64
+	// trackActive enables live span bookkeeping (the -dashboard data source):
+	// in-flight spans and cumulative per-kind self time. Off by default so
+	// plain traced runs pay nothing for it.
+	trackActive atomic.Bool
+	active      sync.Map // *Span -> struct{}
+	kindSelf    sync.Map // kind string -> *atomic.Int64 (cumulative self ns)
+
 	mu    sync.Mutex
-	sink  SpanSink
 	techs map[string]*techAgg
 	specs map[string]*specAgg
 }
+
+// sinkHolder boxes a SpanSink for atomic.Pointer storage.
+type sinkHolder struct{ s SpanSink }
 
 // New returns an empty registry.
 func New() *Registry {
@@ -175,16 +190,33 @@ func (r *Registry) SetGauge(name string, f func() int64) {
 	r.gauges.Store(name, f)
 }
 
-// SetSink installs the span sink receiving one record per finished job span
+// SetSink installs the span sink receiving one record per finished span
 // (nil removes it). Install before the run starts.
 func (r *Registry) SetSink(s SpanSink) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.sink = s
-	r.mu.Unlock()
+	if s == nil {
+		r.sinkv.Store(nil)
+		return
+	}
+	r.sinkv.Store(&sinkHolder{s: s})
 }
+
+// currentSink reads the installed sink (nil when absent or nil registry).
+func (r *Registry) currentSink() SpanSink {
+	if r == nil {
+		return nil
+	}
+	if h := r.sinkv.Load(); h != nil {
+		return h.s
+	}
+	return nil
+}
+
+// Tracing reports whether a span sink is installed, i.e. whether starting
+// spans produces anything. Span construction is skipped entirely when false.
+func (r *Registry) Tracing() bool { return r.currentSink() != nil }
 
 // CounterValue reads one counter by name (0 when absent or nil registry).
 func (r *Registry) CounterValue(name string) int64 {
@@ -276,6 +308,10 @@ type JobRecord struct {
 	Iterations    int
 	// Effort is the solver/cache work attributed to this job.
 	Effort JobEffort
+	// Span, when non-nil, is the trace span covering this job. RecordJob
+	// closes it without a separate emission: the job record itself carries
+	// the span's IDs, so exactly one line per job reaches the sink.
+	Span *Span
 }
 
 // RecordJob folds one finished job into counters, the per-technique and
@@ -328,12 +364,24 @@ func (r *Registry) RecordJob(jr JobRecord) {
 	}
 	sa.conflicts += jr.Effort.Conflicts
 	sa.solves += jr.Effort.Solves
-	sink := r.sink
 	r.mu.Unlock()
 
-	if sink != nil {
-		sink.Record(jr.span())
+	// The span (when present) closes quietly: the job record below is its
+	// one and only emission.
+	jr.Span.closeQuiet(jr.Duration)
+	if sink := r.currentSink(); sink != nil {
+		rec := jr.span()
+		rec.StartUnixNs = r.unixNs(jr.Start)
+		sink.Record(rec)
 	}
+}
+
+// unixNs projects t onto the registry's timeline: the registry's wall-clock
+// epoch plus a monotonic delta. Mixing raw UnixNano starts with monotonic
+// durations would let a wall-clock step (NTP) break parent/child interval
+// nesting; deriving every timestamp from one epoch keeps them consistent.
+func (r *Registry) unixNs(t time.Time) int64 {
+	return r.start.UnixNano() + t.Sub(r.start).Nanoseconds()
 }
 
 // TechniqueStat is a snapshot of one technique's aggregates.

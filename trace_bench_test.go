@@ -1,0 +1,94 @@
+package specrepair
+
+// BenchmarkTraceOverhead measures the cost of hierarchical causal tracing on
+// a study slice: the untraced arm runs with no span sink installed (every
+// instrumentation point is a nil check), the traced arm streams the full
+// span tree through the JSONL encoder into io.Discard. The committed
+// BENCH_TRACE.json is regenerated with:
+//
+//	BENCH_JSON=1 go test . -run TestWriteBenchTraceJSON -v
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"specrepair/internal/bench"
+	"specrepair/internal/experiments"
+	"specrepair/internal/telemetry"
+)
+
+// traceBenchScale divides the corpora for the tracing-overhead benchmark; it
+// is coarser than benchScale so each arm stays a few seconds.
+const traceBenchScale = 400
+
+func runTraceSlice(b *testing.B, traced bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		reg := telemetry.New()
+		if traced {
+			reg.SetSink(telemetry.NewTraceWriter(io.Discard))
+		}
+		s, err := experiments.RunStudy(experiments.Config{
+			Seed:      1,
+			Scale:     traceBenchScale,
+			Telemetry: reg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.TableI()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("untraced", func(b *testing.B) { runTraceSlice(b, false) })
+	b.Run("traced", func(b *testing.B) { runTraceSlice(b, true) })
+}
+
+// TestWriteBenchTraceJSON regenerates BENCH_TRACE.json. It is gated behind
+// BENCH_JSON=1 because it reruns the study slice several times; the overhead
+// assertion (traced within 5% of untraced) runs only here, on the minimum of
+// repeated arms, to keep it off the noisy default test path.
+func TestWriteBenchTraceJSON(t *testing.T) {
+	if os.Getenv("BENCH_JSON") == "" {
+		t.Skip("set BENCH_JSON=1 to regenerate BENCH_TRACE.json")
+	}
+	minNs := func(traced bool) (int64, int) {
+		best := int64(0)
+		iters := 0
+		for run := 0; run < 2; run++ {
+			r := testing.Benchmark(func(b *testing.B) { runTraceSlice(b, traced) })
+			ns := r.NsPerOp()
+			if best == 0 || ns < best {
+				best = ns
+			}
+			iters += r.N
+		}
+		return best, iters
+	}
+	baseNs, baseIters := minNs(false)
+	tracedNs, tracedIters := minNs(true)
+	overhead := bench.OverheadPercent(baseNs, tracedNs)
+	t.Logf("untraced %s, traced %s, overhead %.2f%%",
+		bench.FmtDur(baseNs), bench.FmtDur(tracedNs), overhead)
+	if err := bench.Verify(baseNs, tracedNs, 5.0); err != nil {
+		t.Error(err)
+	}
+	file := bench.BenchFile{
+		Benchmark: "BenchmarkTraceOverhead",
+		Note: "hierarchical tracing overhead on the 1/400 study slice: " +
+			"untraced (no sink) vs traced (full span tree through the JSONL " +
+			"encoder to io.Discard); min ns/op of 2 runs per arm",
+		Results: []bench.BenchResult{
+			bench.ResultFrom("untraced", baseIters, baseNs, 0, 0, nil),
+			bench.ResultFrom("traced", tracedIters, tracedNs, 0, 0,
+				map[string]float64{"overhead_pct": overhead}),
+		},
+	}
+	if err := bench.WriteBenchJSON("BENCH_TRACE.json", file); err != nil {
+		t.Fatal(err)
+	}
+}
