@@ -13,6 +13,14 @@
 // Any violation exits non-zero, which makes it usable as a CI assertion:
 //
 //	experiments -scale 400 -table1 -trace t.jsonl && checktrace t.jsonl
+//
+// Multiple files validate as one merged trace set — the shape a sharded
+// study produces, one file per worker process. Span IDs are only required
+// to be unique within their trace (workers seed distinct trace IDs, see
+// experiments -worker), so a span-ID collision across two workers' files is
+// not a duplicate; the same (trace, span) pair appearing twice is:
+//
+//	checktrace worker1.jsonl worker2.jsonl
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"specrepair/internal/telemetry"
 )
@@ -37,22 +46,75 @@ func main() {
 	}
 }
 
+// traceStats accumulates per-record tallies across all input files.
+type traceStats struct {
+	recs                                 []telemetry.SpanRecord
+	badDur                               int64
+	total                                int64 // summed job duration, ns
+	incQueries, incFallbacks, incCarried int64
+	techniques                           map[string]int64
+	kinds                                map[string]int64
+	traces                               map[string]bool // distinct trace IDs (empty ID excluded)
+}
+
 func run(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: checktrace <trace.jsonl>")
+	if len(args) < 1 {
+		return fmt.Errorf("usage: checktrace <trace.jsonl> [more.jsonl ...]")
 	}
-	f, err := os.Open(args[0])
+	st := &traceStats{
+		techniques: map[string]int64{},
+		kinds:      map[string]int64{},
+		traces:     map[string]bool{},
+	}
+	for _, path := range args {
+		if err := readFile(path, st); err != nil {
+			return err
+		}
+	}
+	if len(st.recs) == 0 {
+		return fmt.Errorf("%s: no spans", strings.Join(args, " "))
+	}
+	if st.badDur > 0 {
+		return fmt.Errorf("%d of %d spans have non-positive durations", st.badDur, len(st.recs))
+	}
+
+	depths, err := checkHierarchy(st.recs)
+	if err != nil {
+		return err
+	}
+
+	label := args[0]
+	if len(args) > 1 {
+		label = fmt.Sprintf("%d files (%d traces)", len(args), len(st.traces))
+	}
+	fmt.Printf("%s: %d spans, %d techniques, %.3fs total job time, %d incremental queries (%d fallbacks, %d learnts carried)\n",
+		label, len(st.recs), len(st.techniques), float64(st.total)/1e9, st.incQueries, st.incFallbacks, st.incCarried)
+	names := make([]string, 0, len(st.kinds))
+	for k := range st.kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("  kind %-22s %d\n", k, st.kinds[k])
+	}
+	if len(depths) > 0 {
+		fmt.Printf("  depth histogram:")
+		for d := 0; d < len(depths); d++ {
+			fmt.Printf(" %d:%d", d, depths[d])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// readFile decodes and per-record-validates one JSONL trace file into st.
+func readFile(path string, st *traceStats) error {
+	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 
-	var recs []telemetry.SpanRecord
-	var badDur int64
-	var total int64 // summed job duration, ns
-	var incQueries, incFallbacks, incCarried int64
-	techniques := map[string]int64{}
-	kinds := map[string]int64{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	line := 0
@@ -64,65 +126,36 @@ func run(args []string) error {
 		}
 		var sr telemetry.SpanRecord
 		if err := json.Unmarshal(raw, &sr); err != nil {
-			return fmt.Errorf("line %d: invalid JSON: %w", line, err)
+			return fmt.Errorf("%s:%d: invalid JSON: %w", path, line, err)
 		}
 		if sr.Name == "" {
-			return fmt.Errorf("line %d: span missing name: %s", line, raw)
+			return fmt.Errorf("%s:%d: span missing name: %s", path, line, raw)
 		}
 		// Only job spans (and legacy flat traces, whose every record is a
 		// job) carry the per-job fields.
 		if sr.Name == "job" || sr.SpanID == "" {
 			if sr.Technique == "" || sr.Spec == "" {
-				return fmt.Errorf("line %d: job span missing technique/spec: %s", line, raw)
+				return fmt.Errorf("%s:%d: job span missing technique/spec: %s", path, line, raw)
 			}
 			if sr.DurationNs <= 0 {
-				badDur++
+				st.badDur++
 			}
-			techniques[sr.Technique]++
-			total += sr.DurationNs
+			st.techniques[sr.Technique]++
+			st.total += sr.DurationNs
 		}
 		if sr.IncQueries < 0 || sr.IncFallbacks < 0 || sr.IncCarriedLearnts < 0 {
-			return fmt.Errorf("line %d: span has negative incremental counters: %s", line, raw)
+			return fmt.Errorf("%s:%d: span has negative incremental counters: %s", path, line, raw)
 		}
-		incQueries += sr.IncQueries
-		incFallbacks += sr.IncFallbacks
-		incCarried += sr.IncCarriedLearnts
-		kinds[sr.Name]++
-		recs = append(recs, sr)
-	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	if len(recs) == 0 {
-		return fmt.Errorf("%s: no spans", args[0])
-	}
-	if badDur > 0 {
-		return fmt.Errorf("%d of %d spans have non-positive durations", badDur, len(recs))
-	}
-
-	depths, err := checkHierarchy(recs)
-	if err != nil {
-		return err
-	}
-
-	fmt.Printf("%s: %d spans, %d techniques, %.3fs total job time, %d incremental queries (%d fallbacks, %d learnts carried)\n",
-		args[0], len(recs), len(techniques), float64(total)/1e9, incQueries, incFallbacks, incCarried)
-	names := make([]string, 0, len(kinds))
-	for k := range kinds {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	for _, k := range names {
-		fmt.Printf("  kind %-22s %d\n", k, kinds[k])
-	}
-	if len(depths) > 0 {
-		fmt.Printf("  depth histogram:")
-		for d := 0; d < len(depths); d++ {
-			fmt.Printf(" %d:%d", d, depths[d])
+		st.incQueries += sr.IncQueries
+		st.incFallbacks += sr.IncFallbacks
+		st.incCarried += sr.IncCarriedLearnts
+		st.kinds[sr.Name]++
+		if sr.TraceID != "" {
+			st.traces[sr.TraceID] = true
 		}
-		fmt.Println()
+		st.recs = append(st.recs, sr)
 	}
-	return nil
+	return sc.Err()
 }
 
 // checkHierarchy validates parent existence, acyclicity, and interval

@@ -75,6 +75,41 @@ func TestParentCycleRejected(t *testing.T) {
 	}
 }
 
+func TestMergedWorkerFiles(t *testing.T) {
+	// Two worker files with distinct trace IDs but colliding span IDs: the
+	// collision is legal (span IDs are per-trace), and each file's hierarchy
+	// validates against its own roots.
+	w1 := writeTrace(t, rootLine, jobLine)
+	w2 := writeTrace(t,
+		`{"name":"study","trace_id":"2","span_id":"1","start_unix_ns":1000,"duration_ns":10000,"rep":0}`,
+		`{"name":"job","technique":"CEGIS","spec":"s2","trace_id":"2","span_id":"2","parent_id":"1","start_unix_ns":2000,"duration_ns":5000,"outcome":"repaired","rep":1}`)
+	if err := run([]string{w1, w2}); err != nil {
+		t.Fatalf("merged worker traces rejected: %v", err)
+	}
+}
+
+func TestMergedFilesDuplicatePairRejected(t *testing.T) {
+	// The same (trace, span) pair in two files is still a duplicate.
+	w1 := writeTrace(t, rootLine)
+	w2 := writeTrace(t, rootLine)
+	err := run([]string{w1, w2})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("cross-file duplicate (trace, span) pair not rejected: %v", err)
+	}
+}
+
+func TestMergedFilesOrphanRejected(t *testing.T) {
+	// A parent link never resolves into another trace, even when a span
+	// with the right ID exists there.
+	w1 := writeTrace(t, rootLine)
+	w2 := writeTrace(t,
+		`{"name":"sat.solve","trace_id":"2","span_id":"7","parent_id":"1","start_unix_ns":2500,"duration_ns":100,"rep":0}`)
+	err := run([]string{w1, w2})
+	if err == nil || !strings.Contains(err.Error(), "missing parent") {
+		t.Fatalf("cross-trace parent not rejected: %v", err)
+	}
+}
+
 func TestJobMissingTechniqueRejected(t *testing.T) {
 	path := writeTrace(t, rootLine,
 		`{"name":"job","trace_id":"1","span_id":"2","parent_id":"1","start_unix_ns":2000,"duration_ns":5000,"rep":0}`)

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"os/signal"
 	"runtime"
@@ -79,6 +80,11 @@ func run(args []string) error {
 	resume := fs.Bool("resume", false, "resume from the -checkpoint journal, skipping already-completed jobs")
 	portfolio := fs.Bool("portfolio", false, "race a portfolio of SAT solver configurations on hard queries (identical outputs)")
 	satWorkers := fs.Int("sat-workers", 0, "portfolio size; implies -portfolio when > 1 (0 = auto with -portfolio)")
+	serveAddr := fs.String("serve", "", "run as sharded-study coordinator, serving the lease protocol on this address (e.g. 127.0.0.1:7070)")
+	workerURL := fs.String("worker", "", "run as sharded-study worker against this coordinator URL (e.g. http://127.0.0.1:7070)")
+	leaseSize := fs.Int("lease", 0, "coordinator: jobs per lease (0 = 16)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "coordinator: how long a worker may miss heartbeats before its lease is re-dispatched (0 = 30s)")
+	workerID := fs.String("worker-id", "", "worker: name reported to the coordinator (default: derived from hostname and pid)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,7 +92,11 @@ func run(args []string) error {
 	if *all {
 		*table1, *fig2, *fig3, *table2, *fig4 = true, true, true, true, true
 	}
-	if !*table1 && !*fig2 && !*fig3 && !*table2 && !*fig4 {
+	if *serveAddr != "" && *workerURL != "" {
+		return fmt.Errorf("-serve and -worker are mutually exclusive")
+	}
+	isWorker := *workerURL != ""
+	if !isWorker && !*table1 && !*fig2 && !*fig3 && !*table2 && !*fig4 {
 		return fmt.Errorf("nothing selected; pass -all or one of -table1 -fig2 -fig3 -table2 -fig4")
 	}
 	if *resume && *checkpointPath == "" {
@@ -169,7 +179,7 @@ func run(args []string) error {
 		defer dash.Stop()
 		progress = func(string) {} // the dashboard owns stderr
 	}
-	study, err := experiments.RunStudyContext(ctx, experiments.Config{
+	cfg := experiments.Config{
 		Seed:               *seed,
 		Scale:              *scale,
 		Workers:            *workers,
@@ -182,7 +192,37 @@ func run(args []string) error {
 		Resume:             *resume,
 		SATWorkers:         workersSAT,
 		Progress:           progress,
-	})
+	}
+
+	if isWorker {
+		id := *workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		// Namespace this process's trace and span IDs by worker identity, so
+		// trace files from several workers merge without ID collisions
+		// (checktrace validates the merged set).
+		h := fnv.New32a()
+		h.Write([]byte(id))
+		reg.SeedSpanIDs(uint64(h.Sum32()) << 32)
+		return experiments.RunWorker(ctx, cfg, experiments.WorkerOptions{
+			Coordinator: *workerURL,
+			ID:          id,
+		})
+	}
+
+	var study *experiments.Study
+	var err error
+	if *serveAddr != "" {
+		study, err = experiments.RunCoordinator(ctx, cfg, experiments.CoordinatorOptions{
+			Addr:      *serveAddr,
+			LeaseTTL:  *leaseTTL,
+			ChunkSize: *leaseSize,
+		})
+	} else {
+		study, err = experiments.RunStudyContext(ctx, cfg)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) && *checkpointPath != "" {
 			fmt.Fprintf(os.Stderr, "interrupted; rerun with -checkpoint %s -resume to continue\n", *checkpointPath)

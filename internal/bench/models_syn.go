@@ -1,0 +1,357 @@
+package bench
+
+import "specrepair/internal/aunit"
+
+// synProfiles lists the three synthetic stacked-fault domains. Counts are
+// sized so the full suite (19,800 specs) is a little over ten times the two
+// paper corpora combined (1,974); deepShare + tripleShare = 1, so every
+// entry carries two or three stacked faults — there are no single-edit
+// specs in this suite, which is what makes it a meaningfully harder
+// workload than the paper corpora it scales up.
+func synProfiles() []domainProfile {
+	return []domainProfile{
+		{benchmark: "SYN", domain: "library", source: librarySrc, count: 6800, deepShare: 0.65, tripleShare: 0.35, tests: libraryTests},
+		{benchmark: "SYN", domain: "network", source: networkSrc, count: 6600, deepShare: 0.60, tripleShare: 0.40, tests: networkTests},
+		{benchmark: "SYN", domain: "workflow", source: workflowSrc, count: 6400, deepShare: 0.70, tripleShare: 0.30, tests: workflowTests},
+	}
+}
+
+// --------------------------------------------------------------------------
+// library: a lending library — catalog, loans, waitlists and favorites.
+// --------------------------------------------------------------------------
+
+const librarySrc = `
+sig Book {
+  heldBy: set Member,
+  next: set Book
+}
+sig Member {
+  waitlist: set Book,
+  favorite: lone Book
+}
+one sig Library {
+  catalog: set Book,
+  archived: set Book
+}
+
+fact Catalog {
+  Book = Library.catalog + Library.archived
+  no Library.catalog & Library.archived
+  some Book implies some Library.catalog
+}
+
+fact Lending {
+  all b: Book | lone b.heldBy
+  all b: Book | b in Library.archived implies no b.heldBy
+}
+
+fact Waitlists {
+  all m: Member, b: Book | b in m.waitlist implies some b.heldBy
+  all m: Member | no m.waitlist & heldBy.m
+  all m: Member | m.favorite in m.waitlist + heldBy.m
+}
+
+fact Series {
+  all b: Book | b not in b.next
+  all b: Book | lone next.b
+  no b: Book | b in b.^next
+}
+
+assert LoneHolder {
+  all b: Book | lone b.heldBy
+}
+check LoneHolder for 3
+
+assert ArchivedNotLent {
+  no b: Library.archived | some b.heldBy
+}
+check ArchivedNotLent for 3
+
+assert WaitForHeld {
+  all m: Member | all b: m.waitlist | some b.heldBy
+}
+check WaitForHeld for 3
+
+assert NoWaitOnOwnLoan {
+  all m: Member | no m.waitlist & heldBy.m
+}
+check NoWaitOnOwnLoan for 3
+
+assert FavoriteTracked {
+  all m: Member | m.favorite in m.waitlist + heldBy.m
+}
+check FavoriteTracked for 3
+
+assert SeriesAcyclic {
+  no b: Book | b in b.^next
+}
+check SeriesAcyclic for 3
+
+assert EveryBookFiled {
+  all b: Book | b in Library.catalog + Library.archived
+}
+check EveryBookFiled for 3
+
+run { some heldBy } for 3 expect 1
+run { some waitlist } for 3 expect 1
+run { some favorite } for 3 expect 1
+run { some next } for 3 expect 1
+run { some Library.archived } for 3 expect 1
+`
+
+func libraryTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "library_loan",
+		Valuation: map[string][][]string{
+			"Book":    {{"B0"}},
+			"Member":  {{"M0"}},
+			"Library": {{"L0"}},
+			"catalog": {{"L0", "B0"}},
+			"heldBy":  {{"B0", "M0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "library_archived_loan",
+		Valuation: map[string][][]string{
+			"Book":     {{"B0"}, {"B1"}},
+			"Member":   {{"M0"}},
+			"Library":  {{"L0"}},
+			"catalog":  {{"L0", "B1"}},
+			"archived": {{"L0", "B0"}},
+			"heldBy":   {{"B0", "M0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	s.Add(&aunit.Test{
+		Name: "library_wait_unheld",
+		Valuation: map[string][][]string{
+			"Book":     {{"B0"}},
+			"Member":   {{"M0"}},
+			"Library":  {{"L0"}},
+			"catalog":  {{"L0", "B0"}},
+			"waitlist": {{"M0", "B0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// --------------------------------------------------------------------------
+// network: hosts with symmetric links routing towards a gateway.
+// --------------------------------------------------------------------------
+
+const networkSrc = `
+sig Host {
+  link: set Host,
+  route: set Host,
+  trusts: set Host
+}
+one sig Gateway extends Host {}
+
+fact Links {
+  link = ~link
+  no h: Host | h in h.link
+}
+
+fact Routing {
+  all h: Host | h.route in h.link
+  all h: Host | lone h.route
+  Host = Gateway.*(~route)
+}
+
+fact Trust {
+  trusts = ~trusts
+  all h: Host | h.trusts in h.link
+  no h: Host | h in h.trusts
+}
+
+assert LinksSymmetric {
+  all u, v: Host | v in u.link implies u in v.link
+}
+check LinksSymmetric for 3
+
+assert NoSelfLink {
+  no h: Host | h in h.link
+}
+check NoSelfLink for 3
+
+assert RouteAlongLinks {
+  all h: Host | h.route in h.link
+}
+check RouteAlongLinks for 3
+
+assert LoneNextHop {
+  all h: Host | lone h.route
+}
+check LoneNextHop for 3
+
+assert AllReachGateway {
+  all h: Host | Gateway in h.*route
+}
+check AllReachGateway for 3
+
+assert TrustSymmetric {
+  all u, v: Host | v in u.trusts implies u in v.trusts
+}
+check TrustSymmetric for 3
+
+assert TrustNeighborsOnly {
+  all h: Host | h.trusts in h.link
+}
+check TrustNeighborsOnly for 3
+
+run { some link } for 3 expect 1
+run { some route } for 3 expect 1
+run { some trusts } for 3 expect 1
+run { #Host > 1 } for 3 expect 1
+`
+
+func networkTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "network_routed_pair",
+		Valuation: map[string][][]string{
+			"Host":    {{"G0"}, {"H0"}},
+			"Gateway": {{"G0"}},
+			"link":    {{"G0", "H0"}, {"H0", "G0"}},
+			"route":   {{"H0", "G0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "network_unrouted_host",
+		Valuation: map[string][][]string{
+			"Host":    {{"G0"}, {"H0"}},
+			"Gateway": {{"G0"}},
+			"link":    {{"G0", "H0"}, {"H0", "G0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	s.Add(&aunit.Test{
+		Name: "network_asymmetric_link",
+		Valuation: map[string][][]string{
+			"Host":    {{"G0"}, {"H0"}},
+			"Gateway": {{"G0"}},
+			"link":    {{"H0", "G0"}},
+			"route":   {{"H0", "G0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}
+
+// --------------------------------------------------------------------------
+// workflow: a task graph with capable assignees and a closed done-set.
+// --------------------------------------------------------------------------
+
+const workflowSrc = `
+sig Task {
+  deps: set Task,
+  assignee: lone Worker
+}
+sig Worker {
+  can: set Task
+}
+sig Done in Task {}
+
+fact Dependencies {
+  no t: Task | t in t.^deps
+}
+
+fact Assignment {
+  all t: Task | t.assignee in can.t
+  all t: Done | some t.assignee
+}
+
+fact Progress {
+  all t: Done | t.deps in Done
+}
+
+fact Capacity {
+  all w: Worker | some w.can
+}
+
+assert DepsAcyclic {
+  no t: Task | t in t.deps
+}
+check DepsAcyclic for 3
+
+assert AssigneesCapable {
+  all t: Task | t.assignee in can.t
+}
+check AssigneesCapable for 3
+
+assert DoneAssigned {
+  all t: Done | some t.assignee
+}
+check DoneAssigned for 3
+
+assert DoneClosed {
+  all t: Done | t.deps in Done
+}
+check DoneClosed for 3
+
+assert DoneClosedTransitively {
+  all t: Done | t.^deps in Done
+}
+check DoneClosedTransitively for 3
+
+assert WorkersUseful {
+  all w: Worker | some w.can
+}
+check WorkersUseful for 3
+
+run { some deps } for 3 expect 1
+run { some Done } for 3 expect 1
+run { some assignee } for 3 expect 1
+run { #Task > 1 } for 3 expect 1
+`
+
+func workflowTests() *aunit.Suite {
+	s := &aunit.Suite{}
+	s.Add(&aunit.Test{
+		Name: "workflow_done_task",
+		Valuation: map[string][][]string{
+			"Task":     {{"T0"}},
+			"Done":     {{"T0"}},
+			"Worker":   {{"W0"}},
+			"can":      {{"W0", "T0"}},
+			"assignee": {{"T0", "W0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  true,
+	})
+	s.Add(&aunit.Test{
+		Name: "workflow_done_unassigned",
+		Valuation: map[string][][]string{
+			"Task":   {{"T0"}},
+			"Done":   {{"T0"}},
+			"Worker": {{"W0"}},
+			"can":    {{"W0", "T0"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	s.Add(&aunit.Test{
+		Name: "workflow_done_open_dep",
+		Valuation: map[string][][]string{
+			"Task":     {{"T0"}, {"T1"}},
+			"Done":     {{"T0"}},
+			"Worker":   {{"W0"}},
+			"can":      {{"W0", "T0"}, {"W0", "T1"}},
+			"assignee": {{"T0", "W0"}},
+			"deps":     {{"T0", "T1"}},
+		},
+		Formula: aunit.FactsFormula,
+		Expect:  false,
+	})
+	return s
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"specrepair/internal/alloy/printer"
+	"specrepair/internal/repair"
+)
+
+// TestSyntheticSuiteScaled validates the synthetic stacked-fault suite at a
+// reduced scale: per-domain counts, unique names, and — the property that
+// distinguishes this suite — no single-edit specs at all.
+func TestSyntheticSuiteScaled(t *testing.T) {
+	g := NewGenerator(nil)
+	g.Scale = 40
+	suite, err := g.Synthetic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.Name != "SYN" {
+		t.Fatalf("suite name = %q, want SYN", suite.Name)
+	}
+	wantCounts := map[string]int{"library": 170, "network": 165, "workflow": 160}
+	byDomain := suite.ByDomain()
+	for dom, want := range wantCounts {
+		if got := len(byDomain[dom]); got != want {
+			t.Errorf("domain %s: %d specs, want %d", dom, got, want)
+		}
+	}
+	if got, want := len(suite.Specs), 495; got != want {
+		t.Fatalf("suite holds %d specs, want %d", got, want)
+	}
+
+	seen := map[string]bool{}
+	triples := 0
+	for _, sp := range suite.Specs {
+		if seen[sp.Name] {
+			t.Fatalf("duplicate spec name %s", sp.Name)
+		}
+		seen[sp.Name] = true
+		if sp.Benchmark != "SYN" {
+			t.Fatalf("%s: benchmark = %q, want SYN", sp.Name, sp.Benchmark)
+		}
+		if sp.Depth < 2 || sp.Depth > 3 {
+			t.Errorf("%s: depth = %d, want 2 or 3 (the synthetic suite carries only stacked faults)", sp.Name, sp.Depth)
+		}
+		if sp.Depth == 3 {
+			triples++
+		}
+		if printer.Module(sp.Faulty) == printer.Module(sp.GroundTruth) {
+			t.Errorf("%s: faulty module identical to ground truth", sp.Name)
+		}
+	}
+	// Roughly a third of the suite is triple-fault (profile tripleShares are
+	// 0.35/0.40/0.30); allow slack for pool-exhaustion top-ups.
+	if lo, hi := len(suite.Specs)/5, len(suite.Specs)/2; triples < lo || triples > hi {
+		t.Errorf("triple-fault specs = %d, want within [%d,%d]", triples, lo, hi)
+	}
+
+	// Sample the oracle guarantee: faulty specs fail, ground truths pass.
+	an := g.an
+	for _, sp := range []*Spec{suite.Specs[0], suite.Specs[len(suite.Specs)/2], suite.Specs[len(suite.Specs)-1]} {
+		ok, err := repair.OracleAllCommandsPass(context.Background(), an, sp.Faulty)
+		if err != nil {
+			t.Fatalf("%s: faulty spec does not analyze: %v", sp.Name, err)
+		}
+		if ok {
+			t.Errorf("%s: faulty spec passes its oracle", sp.Name)
+		}
+		ok, err = repair.OracleAllCommandsPass(context.Background(), an, sp.GroundTruth)
+		if err != nil || !ok {
+			t.Errorf("%s: ground truth fails its oracle (ok=%v err=%v)", sp.Name, ok, err)
+		}
+	}
+}
+
+// TestSyntheticDeterministic: two independent generators must produce the
+// identical corpus — the property the sharded study's digest check builds
+// on.
+func TestSyntheticDeterministic(t *testing.T) {
+	print := func() []string {
+		g := NewGenerator(nil)
+		g.Scale = 200
+		suite, err := g.Synthetic()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, sp := range suite.Specs {
+			out = append(out, sp.Name, printer.Module(sp.Faulty), printer.Module(sp.GroundTruth))
+		}
+		return out
+	}
+	a, b := print(), print()
+	if len(a) != len(b) {
+		t.Fatalf("runs produced %d vs %d entries", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs between two generations", i)
+		}
+	}
+}
+
+// TestSyntheticFullScale generates the complete 19,800-spec suite. It takes
+// minutes, so it only runs when SYN_FULL=1 (the CI corpus job sets it).
+func TestSyntheticFullScale(t *testing.T) {
+	if os.Getenv("SYN_FULL") == "" {
+		t.Skip("set SYN_FULL=1 to generate the full synthetic corpus")
+	}
+	g := NewGenerator(nil)
+	suite, err := g.Synthetic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(suite.Specs), 19800; got != want {
+		t.Fatalf("full synthetic suite holds %d specs, want %d", got, want)
+	}
+	paper := 1936 + 38
+	if len(suite.Specs) < 10*paper {
+		t.Fatalf("synthetic suite (%d) is not 10x the paper corpora (%d)", len(suite.Specs), paper)
+	}
+}

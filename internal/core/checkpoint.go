@@ -104,6 +104,15 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 	return &Checkpoint{f: f, w: bufio.NewWriter(f), done: done, path: path}, nil
 }
 
+// NewMemoryCheckpoint returns a journal that records only in memory, with
+// no backing file. A sharded-study coordinator run without -checkpoint uses
+// it so completions still flow through the exact journal-and-replay path
+// that guarantees byte-identical artifacts — it just doesn't survive a
+// coordinator crash.
+func NewMemoryCheckpoint() *Checkpoint {
+	return &Checkpoint{done: map[string]*CheckpointRecord{}}
+}
+
 // Len reports how many completed jobs the journal holds.
 func (c *Checkpoint) Len() int {
 	c.mu.Lock()
@@ -118,7 +127,8 @@ func (c *Checkpoint) Lookup(suite, technique, spec string) *CheckpointRecord {
 	return c.done[checkpointKey(suite, technique, spec)]
 }
 
-// Append journals one completed job and flushes it to disk.
+// Append journals one completed job and flushes it to disk (memory-only
+// journals just index it).
 func (c *Checkpoint) Append(rec *CheckpointRecord) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -127,6 +137,9 @@ func (c *Checkpoint) Append(rec *CheckpointRecord) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.done[checkpointKey(rec.Suite, rec.Technique, rec.Spec)] = rec
+	if c.w == nil {
+		return nil
+	}
 	if _, err := c.w.Write(append(line, '\n')); err != nil {
 		return err
 	}
@@ -148,6 +161,13 @@ func (c *Checkpoint) Close() error {
 		return ferr
 	}
 	return cerr
+}
+
+// RecordOf converts one evaluation result into its journal form — the wire
+// payload a sharded-study worker posts back to the coordinator for each
+// completed job.
+func RecordOf(suite string, res *Result) *CheckpointRecord {
+	return checkpointRecordOf(suite, res)
 }
 
 // record converts one evaluation result into its journal form.

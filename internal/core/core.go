@@ -354,10 +354,6 @@ func (r *Runner) EvaluateContext(ctx context.Context, suite *bench.Suite, factor
 		eval.Results[f.Name] = map[string]*Result{}
 	}
 
-	type job struct {
-		factory Factory
-		spec    *bench.Spec
-	}
 	total := len(factories) * len(suite.Specs)
 	done := 0
 
@@ -375,7 +371,7 @@ func (r *Runner) EvaluateContext(ctx context.Context, suite *bench.Suite, factor
 	// Resume pass: serve journaled jobs from the checkpoint without
 	// re-running them (and without re-journaling or recording job spans — no
 	// new effort was spent). Only the remainder is dispatched.
-	var pending []job
+	var pending []execJob
 	resumed := r.Telemetry.Counter(telemetry.CtrJobResumed)
 	for _, f := range factories {
 		for _, s := range suite.Specs {
@@ -386,106 +382,18 @@ func (r *Runner) EvaluateContext(ctx context.Context, suite *bench.Suite, factor
 					continue
 				}
 			}
-			pending = append(pending, job{factory: f, spec: s})
+			pending = append(pending, execJob{suite: suite.Name, factory: f, spec: s})
 		}
 	}
 
-	// The buffer decouples workers from the single-threaded drain loop:
-	// without it every worker parks on the drain loop between jobs.
-	jobs := make(chan job)
-	results := make(chan *Result, workers)
-	var wg sync.WaitGroup
-
-	parentSpan := telemetry.SpanFromContext(ctx)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// One collector per worker: a worker runs one job at a time, so
-			// bracketing each job with BeginJob/TakeJobEffort attributes the
-			// solver and cache work of this worker's analyzers and
-			// techniques to exactly that job.
-			col := telemetry.NewCollector(r.Telemetry)
-			an := analyzer.New(analyzer.Options{Cache: r.Cache, Telemetry: col, SATWorkers: r.SATWorkers})
-			tools := map[string]repair.Technique{}
-			for j := range jobs {
-				tool, ok := tools[j.factory.Name]
-				if !ok {
-					tool = j.factory.NewWith(col)
-					tools[j.factory.Name] = tool
-				}
-				jobCtx, cancel := ctx, context.CancelFunc(nil)
-				if r.Timeout > 0 {
-					jobCtx, cancel = context.WithTimeout(ctx, r.Timeout)
-				}
-				if r.Telemetry == nil {
-					res := evaluateOne(jobCtx, an, tool, j.factory.Name, j.spec)
-					if cancel != nil {
-						cancel()
-					}
-					results <- res
-					continue
-				}
-				// One "job" span per (technique, spec), laned by worker index
-				// so traces render one track per runner worker. All nil no-ops
-				// when no sink is configured.
-				jobSpan := parentSpan.Child("job")
-				jobSpan.SetLane(w + 1)
-				jobSpan.SetAttr("technique", j.factory.Name)
-				jobSpan.SetAttr("spec", suite.Name+"/"+j.spec.Name)
-				jobCtx = telemetry.ContextWithSpan(jobCtx, jobSpan)
-				col.BeginJob()
-				start := time.Now()
-				res := evaluateOne(jobCtx, an, tool, j.factory.Name, j.spec)
-				dur := time.Since(start)
-				if cancel != nil {
-					cancel()
-				}
-				outcome := telemetry.OutcomeFailed
-				switch {
-				case res.Err != nil:
-					outcome = telemetry.OutcomeError
-				case res.Outcome.Repaired:
-					outcome = telemetry.OutcomeRepaired
-				}
-				r.Telemetry.RecordJob(telemetry.JobRecord{
-					Technique:     j.factory.Name,
-					Spec:          suite.Name + "/" + j.spec.Name,
-					Start:         start,
-					Duration:      dur,
-					Outcome:       outcome,
-					REP:           res.REP,
-					Candidates:    res.Outcome.Stats.CandidatesTried,
-					AnalyzerCalls: res.Outcome.Stats.AnalyzerCalls,
-					TestRuns:      res.Outcome.Stats.TestRuns,
-					Iterations:    res.Outcome.Stats.Iterations,
-					Effort:        col.TakeJobEffort(),
-					Span:          jobSpan,
-				})
-				results <- res
-			}
-		}(w)
-	}
-
-	go func() {
-	dispatch:
-		for _, j := range pending {
-			select {
-			case jobs <- j:
-			case <-ctx.Done():
-				break dispatch
-			}
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
+	results := r.runPool(ctx, workers, pending)
 
 	timeouts := r.Telemetry.Counter(telemetry.CtrJobTimeouts)
 	panics := r.Telemetry.Counter(telemetry.CtrJobPanics)
 	cancelled := r.Telemetry.Counter(telemetry.CtrJobCancelled)
 	var checkpointErr error
-	for res := range results {
+	for er := range results {
+		res := er.res
 		record(res)
 		// Classify the failure mode. A job-level deadline surfaces as
 		// DeadlineExceeded; Canceled can only come from the run-wide context
@@ -519,6 +427,179 @@ func (r *Runner) EvaluateContext(ctx context.Context, suite *bench.Suite, factor
 		return eval, fmt.Errorf("writing checkpoint: %w", checkpointErr)
 	}
 	return eval, ctx.Err()
+}
+
+// execJob is one dispatched (suite, technique, spec) evaluation.
+type execJob struct {
+	suite   string
+	factory Factory
+	spec    *bench.Spec
+}
+
+// execResult pairs a completed result with the suite it belongs to, so
+// drains that mix suites (EvaluateJobs) can attribute it.
+type execResult struct {
+	suite string
+	res   *Result
+}
+
+// runPool executes the pending jobs on a pool of worker goroutines and
+// returns the channel their results drain from. The channel closes when
+// every dispatched job has completed; cancelling ctx stops dispatching new
+// jobs (in-flight ones still drain). This is the execution core shared by
+// EvaluateContext (whole-suite grids) and EvaluateJobs (explicit job lists
+// from a sharded-study lease).
+func (r *Runner) runPool(ctx context.Context, workers int, pending []execJob) <-chan execResult {
+	// The buffer decouples workers from the single-threaded drain loop:
+	// without it every worker parks on the drain loop between jobs.
+	jobs := make(chan execJob)
+	results := make(chan execResult, workers)
+	var wg sync.WaitGroup
+
+	parentSpan := telemetry.SpanFromContext(ctx)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// One collector per worker: a worker runs one job at a time, so
+			// bracketing each job with BeginJob/TakeJobEffort attributes the
+			// solver and cache work of this worker's analyzers and
+			// techniques to exactly that job.
+			col := telemetry.NewCollector(r.Telemetry)
+			an := analyzer.New(analyzer.Options{Cache: r.Cache, Telemetry: col, SATWorkers: r.SATWorkers})
+			tools := map[string]repair.Technique{}
+			for j := range jobs {
+				tool, ok := tools[j.factory.Name]
+				if !ok {
+					tool = j.factory.NewWith(col)
+					tools[j.factory.Name] = tool
+				}
+				jobCtx, cancel := ctx, context.CancelFunc(nil)
+				if r.Timeout > 0 {
+					jobCtx, cancel = context.WithTimeout(ctx, r.Timeout)
+				}
+				if r.Telemetry == nil {
+					res := evaluateOne(jobCtx, an, tool, j.factory.Name, j.spec)
+					if cancel != nil {
+						cancel()
+					}
+					results <- execResult{suite: j.suite, res: res}
+					continue
+				}
+				// One "job" span per (technique, spec), laned by worker index
+				// so traces render one track per runner worker. All nil no-ops
+				// when no sink is configured.
+				jobSpan := parentSpan.Child("job")
+				jobSpan.SetLane(w + 1)
+				jobSpan.SetAttr("technique", j.factory.Name)
+				jobSpan.SetAttr("spec", j.suite+"/"+j.spec.Name)
+				jobCtx = telemetry.ContextWithSpan(jobCtx, jobSpan)
+				col.BeginJob()
+				start := time.Now()
+				res := evaluateOne(jobCtx, an, tool, j.factory.Name, j.spec)
+				dur := time.Since(start)
+				if cancel != nil {
+					cancel()
+				}
+				outcome := telemetry.OutcomeFailed
+				switch {
+				case res.Err != nil:
+					outcome = telemetry.OutcomeError
+				case res.Outcome.Repaired:
+					outcome = telemetry.OutcomeRepaired
+				}
+				r.Telemetry.RecordJob(telemetry.JobRecord{
+					Technique:     j.factory.Name,
+					Spec:          j.suite + "/" + j.spec.Name,
+					Start:         start,
+					Duration:      dur,
+					Outcome:       outcome,
+					REP:           res.REP,
+					Candidates:    res.Outcome.Stats.CandidatesTried,
+					AnalyzerCalls: res.Outcome.Stats.AnalyzerCalls,
+					TestRuns:      res.Outcome.Stats.TestRuns,
+					Iterations:    res.Outcome.Stats.Iterations,
+					Effort:        col.TakeJobEffort(),
+					Span:          jobSpan,
+				})
+				results <- execResult{suite: j.suite, res: res}
+			}
+		}(w)
+	}
+
+	go func() {
+	dispatch:
+		for _, j := range pending {
+			select {
+			case jobs <- j:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	return results
+}
+
+// JobRef names one (suite, technique, spec) job by its coordinates in a
+// study — the unit a sharded study's coordinator leases to worker
+// processes.
+type JobRef struct {
+	Suite     string `json:"suite"`
+	Technique string `json:"technique"`
+	Spec      string `json:"spec"`
+}
+
+// EvaluateJobs runs an explicit list of jobs, possibly spanning several
+// suites, and streams each completed result to emit (called from the drain
+// goroutine, in completion order). This is the execution path of a sharded
+// study's worker process: the leased range is resolved against the locally
+// generated suites and evaluated on the same worker-pool machinery as a
+// whole-suite run, so per-job behavior — and therefore every journaled
+// record — is identical to the single-process study's. The Checkpoint and
+// Progress fields are ignored here; journaling is the coordinator's job.
+func (r *Runner) EvaluateJobs(ctx context.Context, suites []*bench.Suite, factories []Factory, refs []JobRef, emit func(suite string, res *Result)) error {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	bySuite := map[string]map[string]*bench.Spec{}
+	for _, s := range suites {
+		if err := checkDuplicateSpecs(s); err != nil {
+			return err
+		}
+		specs := map[string]*bench.Spec{}
+		for _, sp := range s.Specs {
+			specs[sp.Name] = sp
+		}
+		bySuite[s.Name] = specs
+	}
+	byName := map[string]Factory{}
+	for _, f := range factories {
+		byName[f.Name] = f
+	}
+	pending := make([]execJob, 0, len(refs))
+	for _, ref := range refs {
+		specs, ok := bySuite[ref.Suite]
+		if !ok {
+			return fmt.Errorf("job references unknown suite %q", ref.Suite)
+		}
+		spec, ok := specs[ref.Spec]
+		if !ok {
+			return fmt.Errorf("job references unknown spec %s/%s", ref.Suite, ref.Spec)
+		}
+		f, ok := byName[ref.Technique]
+		if !ok {
+			return fmt.Errorf("job references unknown technique %q", ref.Technique)
+		}
+		pending = append(pending, execJob{suite: ref.Suite, factory: f, spec: spec})
+	}
+	for er := range r.runPool(ctx, workers, pending) {
+		emit(er.suite, er.res)
+	}
+	return ctx.Err()
 }
 
 // checkDuplicateSpecs rejects suites with repeated spec names: results are

@@ -65,6 +65,16 @@ func (s *Study) TelemetryReport() string {
 		}
 		b.WriteString("\n")
 	}
+	if leases := reg.CounterValue(telemetry.CtrShardLeases); leases > 0 {
+		fmt.Fprintf(&b, "  sharding: %d leases granted, %d jobs completed, %d heartbeats, %d leases expired, %d ranges stolen, %d duplicates dropped, %d workers rejected\n",
+			leases,
+			reg.CounterValue(telemetry.CtrShardCompleted),
+			reg.CounterValue(telemetry.CtrShardHeartbeats),
+			reg.CounterValue(telemetry.CtrShardExpired),
+			reg.CounterValue(telemetry.CtrShardSteals),
+			reg.CounterValue(telemetry.CtrShardDuplicates),
+			reg.CounterValue(telemetry.CtrShardRejected))
+	}
 
 	// Techniques ranked by p95 job duration, heaviest first.
 	techs := reg.Techniques()

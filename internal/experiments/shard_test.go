@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"specrepair/internal/telemetry"
+)
+
+// startCoordinator launches RunCoordinator in the background and returns the
+// bound address plus a channel carrying its result.
+func startCoordinator(ctx context.Context, cfg Config, opt CoordinatorOptions) (string, <-chan struct {
+	study *Study
+	err   error
+}) {
+	addrCh := make(chan string, 1)
+	opt.Addr = "127.0.0.1:0"
+	opt.OnListen = func(addr string) { addrCh <- addr }
+	resCh := make(chan struct {
+		study *Study
+		err   error
+	}, 1)
+	go func() {
+		s, err := RunCoordinator(ctx, cfg, opt)
+		resCh <- struct {
+			study *Study
+			err   error
+		}{s, err}
+	}()
+	return <-addrCh, resCh
+}
+
+// TestShardedStudyByteIdenticalAcrossShardings is the end-to-end acceptance
+// test for the sharding layer: a coordinator fed by two worker processes —
+// and a second run where one worker is killed partway through — must both
+// produce result artifacts byte-identical to a plain single-process run.
+func TestShardedStudyByteIdenticalAcrossShardings(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Seed: 7, Scale: 300, Workers: 2}
+
+	clean, err := RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanDir := filepath.Join(dir, "clean")
+	writeArtifacts(t, clean, cleanDir)
+
+	t.Run("two workers", func(t *testing.T) {
+		reg := telemetry.New()
+		ccfg := cfg
+		ccfg.Telemetry = reg
+		addr, resCh := startCoordinator(context.Background(), ccfg, CoordinatorOptions{
+			ChunkSize:  8,
+			DrainGrace: time.Second,
+		})
+
+		var wg sync.WaitGroup
+		workerErrs := make([]error, 2)
+		for i := range workerErrs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				wcfg := cfg
+				wcfg.Workers = 1
+				workerErrs[i] = RunWorker(context.Background(), wcfg, WorkerOptions{
+					Coordinator: "http://" + addr,
+					ID:          fmt.Sprintf("w%d", i),
+				})
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range workerErrs {
+			if err != nil {
+				t.Fatalf("worker %d: %v", i, err)
+			}
+		}
+		res := <-resCh
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		shardedDir := filepath.Join(dir, "sharded")
+		writeArtifacts(t, res.study, shardedDir)
+		assertSameArtifacts(t, cleanDir, shardedDir)
+
+		if reg.CounterValue(telemetry.CtrShardLeases) < 2 {
+			t.Error("expected at least two leases granted")
+		}
+		if got := reg.CounterValue(telemetry.CtrShardCompleted); got == 0 {
+			t.Error("no completions recorded on the coordinator")
+		}
+	})
+
+	t.Run("kill one worker", func(t *testing.T) {
+		reg := telemetry.New()
+		ccfg := cfg
+		ccfg.Telemetry = reg
+		addr, resCh := startCoordinator(context.Background(), ccfg, CoordinatorOptions{
+			ChunkSize:  8,
+			LeaseTTL:   2 * time.Second,
+			DrainGrace: time.Second,
+		})
+
+		// The doomed worker gets a hard deadline partway into the study; its
+		// in-flight lease expires and the survivor picks up the range.
+		doomedCtx, cancel := context.WithTimeout(context.Background(), 2500*time.Millisecond)
+		defer cancel()
+		wcfg := cfg
+		wcfg.Workers = 1
+		doomedErr := make(chan error, 1)
+		go func() {
+			doomedErr <- RunWorker(doomedCtx, wcfg, WorkerOptions{
+				Coordinator: "http://" + addr,
+				ID:          "doomed",
+			})
+		}()
+
+		if err := RunWorker(context.Background(), wcfg, WorkerOptions{
+			Coordinator: "http://" + addr,
+			ID:          "survivor",
+		}); err != nil {
+			t.Fatalf("surviving worker: %v", err)
+		}
+		if err := <-doomedErr; err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			t.Fatalf("doomed worker: err = %v, want a context error", err)
+		}
+		res := <-resCh
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		killDir := filepath.Join(dir, "killed")
+		writeArtifacts(t, res.study, killDir)
+		assertSameArtifacts(t, cleanDir, killDir)
+	})
+}

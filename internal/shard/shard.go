@@ -1,0 +1,77 @@
+// Package shard splits a study run across worker processes.
+//
+// The study is embarrassingly parallel over (technique, spec) jobs, and the
+// checkpoint journal already makes job completion durable and replayable.
+// This package adds the distribution layer on top: a coordinator enumerates
+// the full job space in the same deterministic order as a single-process
+// run, leases contiguous job-ranges to worker processes over a small
+// HTTP/JSON protocol (lease → heartbeat → complete), reaps leases whose
+// workers go silent, re-dispatches straggler ranges to idle workers (work
+// stealing), and resolves duplicate completions first-wins, so a
+// re-dispatched job can never change what was already journaled.
+//
+// Workers run the same binary (cmd/experiments -worker) and regenerate the
+// corpus locally from the deterministic generator; the coordinator rejects
+// any worker whose study digest (seed + technique list + printed corpus)
+// differs from its own, so a version- or flag-skewed worker cannot smuggle
+// mixed-corpus results into the artifacts. Accepted completions flow into
+// the coordinator's append-only checkpoint journal and the final artifacts
+// are assembled by replaying that journal through the ordinary runner
+// resume path — which is what turns the byte-identity-on-resume guarantee
+// into byte-identity-across-shardings: a 1-worker run, a 4-worker run, and
+// a kill-one-worker-mid-run run all journal the same records and therefore
+// render identical CSVs.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"specrepair/internal/alloy/printer"
+	"specrepair/internal/bench"
+	"specrepair/internal/core"
+)
+
+// JobList enumerates every (suite, technique, spec) job of a study in the
+// canonical order: suites as given, techniques outer, specs inner — the
+// same order the single-process runner dispatches. The global index of a
+// job in this list is its identity on the wire.
+func JobList(suites []*bench.Suite, techniques []string) []core.JobRef {
+	var jobs []core.JobRef
+	for _, s := range suites {
+		for _, t := range techniques {
+			for _, sp := range s.Specs {
+				jobs = append(jobs, core.JobRef{Suite: s.Name, Technique: t, Spec: sp.Name})
+			}
+		}
+	}
+	return jobs
+}
+
+// StudyDigest fingerprints everything that determines a study's journaled
+// records: the simulated-LLM seed, the technique list, and the full printed
+// corpus (faulty and ground-truth modules of every spec, in order). A
+// worker whose digest differs — different binary version, different -seed
+// or -scale, a diverged generator — must be rejected, because its
+// completions would silently mix two different studies into one artifact
+// set.
+func StudyDigest(seed int64, techniques []string, suites ...*bench.Suite) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "seed=%d\n", seed)
+	for _, t := range techniques {
+		fmt.Fprintf(h, "technique=%s\n", t)
+	}
+	for _, s := range suites {
+		fmt.Fprintf(h, "suite=%s specs=%d\n", s.Name, len(s.Specs))
+		for _, sp := range s.Specs {
+			fmt.Fprintf(h, "spec=%s\n", sp.Name)
+			io.WriteString(h, printer.Module(sp.Faulty))
+			io.WriteString(h, "\x00")
+			io.WriteString(h, printer.Module(sp.GroundTruth))
+			io.WriteString(h, "\x00")
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

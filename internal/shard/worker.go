@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"specrepair/internal/core"
+)
+
+// ErrRejected is returned when the coordinator turns the worker away for a
+// study-digest mismatch. It is terminal: retrying cannot help, the worker is
+// running a different study than the coordinator.
+var ErrRejected = errors.New("worker rejected by coordinator")
+
+// Worker is the client side of the lease protocol. It leases job-ranges
+// from the coordinator, runs them through the caller-supplied Run hook, and
+// posts each completion back, heartbeating the lease in the background.
+type Worker struct {
+	// BaseURL locates the coordinator, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// ID names this worker in leases and logs.
+	ID string
+	// Digest is the worker's locally computed study digest; the coordinator
+	// rejects the worker if it differs from its own.
+	Digest string
+	// Jobs is the worker's locally computed canonical job list. Leases are
+	// ranges into this list, so it must match the coordinator's exactly —
+	// which the digest check guarantees.
+	Jobs []core.JobRef
+	// Run evaluates one leased range. It must call emit for every finished
+	// job with the job's global index and journal-form record; emit posts
+	// the completion to the coordinator synchronously. Run should stop (and
+	// may return ctx.Err()) when ctx is cancelled — the lease was revoked or
+	// the worker is shutting down.
+	Run func(ctx context.Context, start int, refs []core.JobRef, emit func(global int, rec *core.CheckpointRecord) error) error
+	// Client defaults to a plain http.Client.
+	Client *http.Client
+	// Log, when non-nil, receives one-line progress messages.
+	Log func(format string, args ...any)
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		w.Log(format, args...)
+	}
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+// Loop leases and runs job-ranges until the coordinator reports the study
+// done, ctx is cancelled, or a terminal error (rejection, unreachable
+// coordinator) occurs. It returns nil on a clean "study done" exit.
+func (w *Worker) Loop(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lr LeaseResponse
+		err := post(w.client(), w.BaseURL+"/shard/lease",
+			LeaseRequest{Worker: w.ID, Digest: w.Digest}, &lr)
+		if err != nil {
+			return fmt.Errorf("leasing from %s: %w", w.BaseURL, err)
+		}
+		if lr.Done {
+			w.logf("worker %s: study complete, exiting", w.ID)
+			return nil
+		}
+		if lr.Count == 0 {
+			// Nothing to lease right now (all ranges are live on other
+			// workers and none is stealable) — poll again shortly.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(lr.RetryMs) * time.Millisecond):
+			}
+			continue
+		}
+		if lr.Start < 0 || lr.Start+lr.Count > len(w.Jobs) {
+			return fmt.Errorf("lease %d grants [%d,%d) outside job space of %d",
+				lr.LeaseID, lr.Start, lr.Start+lr.Count, len(w.Jobs))
+		}
+		studyDone, err := w.runLease(ctx, lr)
+		if err != nil {
+			return err
+		}
+		if studyDone {
+			// A completion ack told us the study just finished with our
+			// record — exit without another lease round, since the
+			// coordinator may shut down as soon as it has every record.
+			w.logf("worker %s: study complete, exiting", w.ID)
+			return nil
+		}
+	}
+}
+
+// runLease evaluates one granted range, heartbeating until it finishes. A
+// revoked lease cancels the range's context: in-flight jobs stop, their
+// results are discarded, and the loop goes back to leasing. studyDone
+// reports that a completion ack flagged the whole study finished.
+func (w *Worker) runLease(ctx context.Context, lr LeaseResponse) (studyDone bool, _ error) {
+	leaseCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		interval := time.Duration(lr.HeartbeatMs) * time.Millisecond
+		if interval <= 0 {
+			interval = time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-leaseCtx.Done():
+				return
+			case <-t.C:
+				var hr HeartbeatResponse
+				err := post(w.client(), w.BaseURL+"/shard/heartbeat",
+					HeartbeatRequest{Worker: w.ID, LeaseID: lr.LeaseID}, &hr)
+				if err == nil && hr.Revoked {
+					w.logf("worker %s: lease %d revoked, abandoning [%d,%d)",
+						w.ID, lr.LeaseID, lr.Start, lr.Start+lr.Count)
+					cancel()
+					return
+				}
+				// Transport errors are left to the next tick: the lease
+				// survives a missed heartbeat or two within the TTL.
+			}
+		}
+	}()
+
+	refs := w.Jobs[lr.Start : lr.Start+lr.Count]
+	w.logf("worker %s: lease %d, jobs [%d,%d)", w.ID, lr.LeaseID, lr.Start, lr.Start+lr.Count)
+	var done atomic.Bool
+	emit := func(global int, rec *core.CheckpointRecord) error {
+		if leaseCtx.Err() != nil {
+			// Revoked mid-range: the coordinator has re-dispatched these
+			// jobs; posting now would be harmless (first-wins) but noisy.
+			return leaseCtx.Err()
+		}
+		var cr CompleteResponse
+		err := post(w.client(), w.BaseURL+"/shard/complete",
+			CompleteRequest{Worker: w.ID, LeaseID: lr.LeaseID, Index: global, Record: rec}, &cr)
+		if err == nil && cr.Done {
+			done.Store(true)
+		}
+		return err
+	}
+	err := w.Run(leaseCtx, lr.Start, refs, emit)
+	cancel()
+	<-hbDone
+	if err != nil && !errors.Is(err, context.Canceled) {
+		return false, fmt.Errorf("worker %s lease %d: %w", w.ID, lr.LeaseID, err)
+	}
+	// ctx (not just leaseCtx) cancelled means the worker itself is shutting
+	// down — propagate; a revoked lease just loops back to leasing.
+	return done.Load(), ctx.Err()
+}

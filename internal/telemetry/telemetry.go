@@ -68,6 +68,21 @@ const (
 	CtrInprocessRemoved  = "inprocess.clauses_removed"
 	CtrInprocessAdded    = "inprocess.clauses_added"
 
+	// Sharded study runs: coordinator-side counters for the lease protocol.
+	// Leases granted to workers, leases reaped after their TTL lapsed without
+	// a heartbeat, straggler ranges handed to a second worker (work
+	// stealing), job completions accepted into the journal, duplicate
+	// completions dropped by first-wins resolution, heartbeats received, and
+	// workers turned away because their corpus digest did not match the
+	// coordinator's.
+	CtrShardLeases     = "shard.leases_granted"
+	CtrShardExpired    = "shard.leases_expired"
+	CtrShardSteals     = "shard.ranges_stolen"
+	CtrShardCompleted  = "shard.jobs_completed"
+	CtrShardDuplicates = "shard.duplicates_dropped"
+	CtrShardHeartbeats = "shard.heartbeats"
+	CtrShardRejected   = "shard.workers_rejected"
+
 	HistSolveNs           = "sat.solve_ns"
 	HistConflictsPerSolve = "sat.conflicts_per_solve"
 	HistDecisionsPerSolve = "sat.decisions_per_solve"

@@ -46,6 +46,19 @@ type Span struct {
 	metrics map[string]int64
 }
 
+// SeedSpanIDs offsets the registry's span-ID counter so that traces from
+// several cooperating processes stay distinguishable after merging. Every
+// process allocates IDs from 1 by default, so two worker processes would
+// emit colliding trace IDs; a sharded-study worker calls SeedSpanIDs with a
+// base derived from its worker identity before starting any span. Call once,
+// before the first StartSpan.
+func (r *Registry) SeedSpanIDs(base uint64) {
+	if r == nil {
+		return
+	}
+	r.spanIDs.Store(base)
+}
+
 // StartSpan opens a new root span (a new trace). It returns nil — and all
 // downstream instrumentation stays dormant — unless a sink is installed.
 func (r *Registry) StartSpan(kind string) *Span {

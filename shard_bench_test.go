@@ -1,0 +1,157 @@
+package specrepair
+
+// Sharded-study throughput: the same study slice run through the
+// coordinator/worker lease protocol with 1, 2, and 4 worker processes
+// (in-process worker loops, one runner goroutine each). The committed
+// BENCH_SHARDED.json is regenerated with:
+//
+//	BENCH_JSON=1 go test . -run TestWriteBenchShardedJSON -v
+//
+// Speedup scales with physical cores: on a multi-core host the 2-worker arm
+// must clear 1.6x the 1-worker arm; on a single-core host the arms verify
+// artifact identity and protocol overhead instead (workers time-slice one
+// core, so parallel speedup is physically impossible and the assertion is
+// skipped — the committed JSON says which kind of host produced it).
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"specrepair/internal/bench"
+	"specrepair/internal/core"
+	"specrepair/internal/experiments"
+	"specrepair/internal/telemetry"
+)
+
+// shardBenchScale divides the corpora for the sharding benchmark; each arm
+// is a full coordinator+workers study at this slice size.
+const shardBenchScale = 300
+
+// runSharded executes one sharded study with n worker loops and returns the
+// assembled study, the job count, and the wall-clock of the whole run
+// (generation through assembly).
+func runSharded(t *testing.T, n int) (*experiments.Study, int, time.Duration) {
+	t.Helper()
+	cfg := experiments.Config{Seed: 1, Scale: shardBenchScale, Workers: 1, Telemetry: telemetry.New()}
+
+	start := time.Now()
+	addrCh := make(chan string, 1)
+	type res struct {
+		study *experiments.Study
+		err   error
+	}
+	resCh := make(chan res, 1)
+	go func() {
+		s, err := experiments.RunCoordinator(context.Background(), cfg, experiments.CoordinatorOptions{
+			Addr:       "127.0.0.1:0",
+			ChunkSize:  16,
+			DrainGrace: time.Second,
+			OnListen:   func(addr string) { addrCh <- addr },
+		})
+		resCh <- res{s, err}
+	}()
+	addr := <-addrCh
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wcfg := cfg
+			wcfg.Telemetry = telemetry.New()
+			errs[i] = experiments.RunWorker(context.Background(), wcfg, experiments.WorkerOptions{
+				Coordinator: "http://" + addr,
+				ID:          fmt.Sprintf("bench-w%d", i),
+			})
+		}(i)
+	}
+	wg.Wait()
+	r := <-resCh
+	// The coordinator lingers exactly DrainGrace after the last completion so
+	// idle pollers get a clean "done"; that linger is not study work.
+	elapsed := time.Since(start) - time.Second
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	jobs := len(core.TechniqueNames) * (len(r.study.A4F.Suite.Specs) + len(r.study.ARepair.Suite.Specs))
+	return r.study, jobs, elapsed
+}
+
+// TestWriteBenchShardedJSON regenerates BENCH_SHARDED.json: specs/min of the
+// sharded study at 1, 2, and 4 workers, asserting byte-identical artifacts
+// across shardings and (on multi-core hosts) >= 1.6x scaling at 2 workers.
+func TestWriteBenchShardedJSON(t *testing.T) {
+	if os.Getenv("BENCH_JSON") == "" {
+		t.Skip("set BENCH_JSON=1 to regenerate BENCH_SHARDED.json")
+	}
+	techniques := float64(len(core.TechniqueNames))
+	var results []bench.BenchResult
+	var table1 string
+	var baseJobsPerMin float64
+	var twoWorkerJobsPerMin float64
+	for _, n := range []int{1, 2, 4} {
+		study, jobs, elapsed := runSharded(t, n)
+		jobsPerMin := float64(jobs) / elapsed.Minutes()
+		specsPerMin := jobsPerMin / techniques
+		t.Logf("%d worker(s): %d jobs in %v = %.0f jobs/min (%.1f specs/min through all %d techniques)",
+			n, jobs, elapsed.Round(time.Millisecond), jobsPerMin, specsPerMin, len(core.TechniqueNames))
+		if table1 == "" {
+			table1 = study.TableI()
+		} else if got := study.TableI(); got != table1 {
+			t.Errorf("%d-worker run produced different Table I than the 1-worker run", n)
+		}
+		switch n {
+		case 1:
+			baseJobsPerMin = jobsPerMin
+		case 2:
+			twoWorkerJobsPerMin = jobsPerMin
+		}
+		results = append(results, bench.ResultFrom(
+			fmt.Sprintf("workers=%d", n), jobs, elapsed.Nanoseconds()/int64(jobs), 0, 0,
+			map[string]float64{
+				"jobs_per_min":  jobsPerMin,
+				"specs_per_min": specsPerMin,
+				"speedup_vs_1w": jobsPerMin / baseJobsPerMin,
+			}))
+	}
+
+	cores := runtime.NumCPU()
+	scaling := twoWorkerJobsPerMin / baseJobsPerMin
+	note := fmt.Sprintf("sharded study throughput on the 1/%d slice via the coordinator/worker "+
+		"lease protocol (in-process worker loops, 1 runner goroutine each); host has %d CPU core(s). ",
+		shardBenchScale, cores)
+	if cores >= 2 {
+		note += fmt.Sprintf("2-worker scaling: %.2fx (floor 1.6x enforced).", scaling)
+		if scaling < 1.6 {
+			t.Errorf("2-worker throughput is %.2fx the 1-worker run, want >= 1.6x on a %d-core host",
+				scaling, cores)
+		}
+	} else {
+		note += fmt.Sprintf("2-worker scaling measured %.2fx: on a single-core host the workers "+
+			"time-slice one core, so the 1.6x multi-core floor is not asserted; the arms instead "+
+			"verify identical artifacts and bound the protocol overhead.", scaling)
+		// Sharding must not collapse throughput even when it cannot add any:
+		// the protocol overhead on one core stays within 30%.
+		if scaling < 0.7 {
+			t.Errorf("2-worker throughput is %.2fx the 1-worker run on one core; protocol overhead above 30%%", scaling)
+		}
+	}
+	if err := bench.WriteBenchJSON("BENCH_SHARDED.json", bench.BenchFile{
+		Benchmark: "TestWriteBenchShardedJSON",
+		Note:      note,
+		Results:   results,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
