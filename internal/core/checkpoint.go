@@ -1,8 +1,6 @@
 package core
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -36,18 +34,17 @@ type CheckpointRecord struct {
 	Candidate string `json:"candidate,omitempty"`
 }
 
-// Checkpoint is an append-only JSONL journal of completed evaluation jobs.
-// Each completed (suite, technique, spec) job appends one record; on resume
-// the journal is loaded and already-journaled jobs are served from it
-// instead of re-running. Appends are mutex-serialized and flushed per
-// record, so a crash loses at most the record being written — a truncated
-// final line is tolerated (and dropped) on load.
+// Checkpoint is an append-only JSONL journal of completed evaluation jobs,
+// built on the shared Journal machinery. Each completed (suite, technique,
+// spec) job appends one record; on resume the journal is loaded and
+// already-journaled jobs are served from it instead of re-running. Appends
+// are flushed per record, so a crash loses at most the record being written
+// — a truncated final line is tolerated (and dropped) on load.
 type Checkpoint struct {
-	mu   sync.Mutex
-	f    *os.File
-	w    *bufio.Writer
-	done map[string]*CheckpointRecord
-	path string
+	mu      sync.Mutex
+	journal *Journal
+	done    map[string]*CheckpointRecord
+	path    string
 }
 
 func checkpointKey(suite, technique, spec string) string {
@@ -58,14 +55,14 @@ func checkpointKey(suite, technique, spec string) string {
 // an existing file — a leftover journal is either a run to resume (use
 // OpenCheckpoint) or stale state the operator should remove explicitly.
 func CreateCheckpoint(path string) (*Checkpoint, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	j, err := CreateJournal(path)
 	if err != nil {
 		if errors.Is(err, os.ErrExist) {
 			return nil, fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove it to start over", path)
 		}
 		return nil, fmt.Errorf("creating checkpoint: %w", err)
 	}
-	return &Checkpoint{f: f, w: bufio.NewWriter(f), done: map[string]*CheckpointRecord{}, path: path}, nil
+	return &Checkpoint{journal: j, done: map[string]*CheckpointRecord{}, path: path}, nil
 }
 
 // OpenCheckpoint loads an existing journal for resumption and reopens it
@@ -76,32 +73,18 @@ func CreateCheckpoint(path string) (*Checkpoint, error) {
 // the resumed run from the journal.
 func OpenCheckpoint(path string) (*Checkpoint, error) {
 	done := map[string]*CheckpointRecord{}
-	data, err := os.ReadFile(path)
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("reading checkpoint: %w", err)
-	}
-	for len(data) > 0 {
-		i := bytes.IndexByte(data, '\n')
-		if i < 0 {
-			// No trailing newline: the record was cut off mid-append.
-			break
-		}
-		line := data[:i]
-		data = data[i+1:]
-		if len(line) == 0 {
-			continue
-		}
+	j, err := OpenJournal(path, func(line []byte) error {
 		rec := &CheckpointRecord{}
 		if err := json.Unmarshal(line, rec); err != nil {
-			return nil, fmt.Errorf("corrupt checkpoint %s: %w", path, err)
+			return err
 		}
 		done[checkpointKey(rec.Suite, rec.Technique, rec.Spec)] = rec
-	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("opening checkpoint: %w", err)
+		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	return &Checkpoint{f: f, w: bufio.NewWriter(f), done: done, path: path}, nil
+	return &Checkpoint{journal: j, done: done, path: path}, nil
 }
 
 // NewMemoryCheckpoint returns a journal that records only in memory, with
@@ -130,20 +113,14 @@ func (c *Checkpoint) Lookup(suite, technique, spec string) *CheckpointRecord {
 // Append journals one completed job and flushes it to disk (memory-only
 // journals just index it).
 func (c *Checkpoint) Append(rec *CheckpointRecord) error {
-	line, err := json.Marshal(rec)
-	if err != nil {
-		return err
-	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.done[checkpointKey(rec.Suite, rec.Technique, rec.Spec)] = rec
-	if c.w == nil {
+	j := c.journal
+	c.mu.Unlock()
+	if j == nil {
 		return nil
 	}
-	if _, err := c.w.Write(append(line, '\n')); err != nil {
-		return err
-	}
-	return c.w.Flush()
+	return j.Append(rec)
 }
 
 // Close flushes and closes the journal file. The in-memory index stays
@@ -151,16 +128,10 @@ func (c *Checkpoint) Append(rec *CheckpointRecord) error {
 func (c *Checkpoint) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.f == nil {
+	if c.journal == nil {
 		return nil
 	}
-	ferr := c.w.Flush()
-	cerr := c.f.Close()
-	c.f = nil
-	if ferr != nil {
-		return ferr
-	}
-	return cerr
+	return c.journal.Close()
 }
 
 // RecordOf converts one evaluation result into its journal form — the wire

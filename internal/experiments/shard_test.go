@@ -137,3 +137,42 @@ func TestShardedStudyByteIdenticalAcrossShardings(t *testing.T) {
 		assertSameArtifacts(t, cleanDir, killDir)
 	})
 }
+
+// TestDrainGraceWakesOnCancel pins the coordinator's post-assembly linger to
+// the context: DrainGrace exists so idle pollers get a clean "study done"
+// answer, but an operator's Ctrl-C during that window must end the run
+// promptly instead of sleeping out the full grace.
+func TestDrainGraceWakesOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{Seed: 3, Scale: 2000, Workers: 1}
+	addr, resCh := startCoordinator(ctx, cfg, CoordinatorOptions{
+		ChunkSize:  8,
+		DrainGrace: time.Minute,
+	})
+	wcfg := cfg
+	wcfg.Workers = 1
+	if err := RunWorker(context.Background(), wcfg, WorkerOptions{
+		Coordinator: "http://" + addr,
+		ID:          "w0",
+	}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	// The worker has posted every completion, so the coordinator is either
+	// assembling (fast at this scale) or already lingering in DrainGrace.
+	// Give assembly a moment, then cancel and demand a prompt exit.
+	time.Sleep(2 * time.Second)
+	cancel()
+	start := time.Now()
+	select {
+	case res := <-resCh:
+		if res.err != nil && !errors.Is(res.err, context.Canceled) {
+			t.Fatalf("coordinator: %v", res.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator still lingering 10s after cancellation (DrainGrace is 1m)")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("coordinator took %v to notice cancellation during DrainGrace", waited)
+	}
+}

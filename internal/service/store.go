@@ -1,0 +1,148 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"specrepair/internal/core"
+	"specrepair/internal/repair"
+)
+
+// jobEvent is one line of the job journal. The store is event-sourced over
+// the same append-only JSONL machinery as the study checkpoint
+// (core.Journal): a "submit" event admits a job, a "finish" event closes it.
+// A job with a submit but no finish was queued or in flight when the daemon
+// stopped, so a restarted daemon re-queues it — that is the whole
+// kill-and-restart resume story.
+type jobEvent struct {
+	Kind string `json:"kind"` // "submit" | "finish"
+	ID   string `json:"id"`
+	Key  string `json:"key,omitempty"`
+
+	// Submit payload.
+	Sub *Submission `json:"sub,omitempty"`
+
+	// Finish payload.
+	State    State         `json:"state,omitempty"`
+	Repaired bool          `json:"repaired,omitempty"`
+	Result   string        `json:"result,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Stats    *repair.Stats `json:"stats,omitempty"`
+}
+
+// store is the durable job index: an in-memory map replayed from (and
+// appended to) the job journal. A store with a nil journal is memory-only —
+// the daemon still runs, jobs just don't survive a restart.
+type store struct {
+	journal *core.Journal
+	jobs    map[string]*Job // by ID
+	order   []string        // admission order, for deterministic resume
+}
+
+// openStore loads (or starts) the job journal at path. Unlike the study
+// checkpoint's create/resume split, the job store is open-or-create: a
+// restarted daemon resuming its queue is the normal case, not an operator
+// decision. An empty path yields a memory-only store.
+func openStore(path string) (*store, error) {
+	st := &store{jobs: map[string]*Job{}}
+	if path == "" {
+		return st, nil
+	}
+	j, err := core.OpenJournal(path, func(line []byte) error {
+		var ev jobEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return err
+		}
+		return st.replay(&ev)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("job store: %w", err)
+	}
+	st.journal = j
+	return st, nil
+}
+
+// replay applies one journaled event to the in-memory index.
+func (st *store) replay(ev *jobEvent) error {
+	switch ev.Kind {
+	case "submit":
+		if ev.Sub == nil {
+			return fmt.Errorf("submit event %s without submission", ev.ID)
+		}
+		job := &Job{
+			ID:         ev.ID,
+			Key:        ev.Key,
+			Submission: *ev.Sub,
+			state:      StateQueued,
+			created:    time.Now(),
+			seq:        int64(len(st.order)),
+			done:       make(chan struct{}),
+		}
+		st.jobs[ev.ID] = job
+		st.order = append(st.order, ev.ID)
+	case "finish":
+		job, ok := st.jobs[ev.ID]
+		if !ok {
+			return fmt.Errorf("finish event for unknown job %s", ev.ID)
+		}
+		job.state = ev.State
+		job.repaired = ev.Repaired
+		job.result = ev.Result
+		job.errMsg = ev.Error
+		if ev.Stats != nil {
+			job.stats = *ev.Stats
+		}
+		job.finished = time.Now()
+		close(job.done)
+	default:
+		return fmt.Errorf("unknown job event kind %q", ev.Kind)
+	}
+	return nil
+}
+
+// pending returns the jobs that were journaled as submitted but never
+// finished, in admission order — the queue a restarted daemon resumes.
+func (st *store) pending() []*Job {
+	var out []*Job
+	for _, id := range st.order {
+		if j := st.jobs[id]; !j.state.Terminal() {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// appendSubmit journals a job admission (no-op for memory-only stores).
+func (st *store) appendSubmit(job *Job) error {
+	if st.journal == nil {
+		return nil
+	}
+	sub := job.Submission
+	return st.journal.Append(&jobEvent{Kind: "submit", ID: job.ID, Key: job.Key, Sub: &sub})
+}
+
+// appendFinish journals a job's terminal state.
+func (st *store) appendFinish(job *Job) error {
+	if st.journal == nil {
+		return nil
+	}
+	stats := job.stats
+	return st.journal.Append(&jobEvent{
+		Kind:     "finish",
+		ID:       job.ID,
+		State:    job.state,
+		Repaired: job.repaired,
+		Result:   job.result,
+		Error:    job.errMsg,
+		Stats:    &stats,
+	})
+}
+
+// close flushes and closes the backing journal.
+func (st *store) close() error {
+	if st.journal == nil {
+		return nil
+	}
+	return st.journal.Close()
+}

@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// deadURL returns an address nothing is listening on, so every POST to it
+// fails at the transport layer and enters the retry loop.
+func deadURL(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return "http://" + addr
+}
+
+// A cancelled context must abort the client promptly even when it is parked
+// in a retry backoff: the old bare time.Sleep plus context-free Post could
+// hang a revoked worker for the better part of a second.
+func TestPostCancelledMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	var out LeaseResponse
+	err := post(ctx, http.DefaultClient, deadURL(t)+"/shard/lease", LeaseRequest{Worker: "w"}, &out)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Full backoff ladder is 200+400+600+800ms; a prompt abort is well
+	// under the first two rungs even on a loaded CI box.
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("post took %v after cancellation, want a prompt return", elapsed)
+	}
+}
+
+// A malformed 200 body is a protocol outcome, not transport flakiness: the
+// server handled the request, so re-POSTing it would duplicate side effects
+// (for /shard/complete, a duplicate completion). Exactly one POST may be
+// issued.
+func TestPostCorrupt200BodyNotRetried(t *testing.T) {
+	var posts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte("{\"ok\": tru")) // truncated mid-token
+	}))
+	defer srv.Close()
+
+	var out CompleteResponse
+	err := post(context.Background(), srv.Client(), srv.URL+"/shard/complete", CompleteRequest{Index: 0}, &out)
+	if err == nil {
+		t.Fatal("corrupt 200 body must surface an error")
+	}
+	if n := posts.Load(); n != 1 {
+		t.Fatalf("corrupt 200 body was POSTed %d times, want exactly 1", n)
+	}
+}
+
+// Transport errors still retry: a server that refuses the first connection
+// but answers the second must be reached transparently. The test proxies
+// through a listener that closes its first accepted connection.
+func TestPostRetriesTransportErrors(t *testing.T) {
+	var posts atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer backend.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		first := true
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if first {
+				first = false
+				conn.Close() // simulate a transient refusal
+				continue
+			}
+			go func() {
+				defer conn.Close()
+				backendConn, err := net.Dial("tcp", backend.Listener.Addr().String())
+				if err != nil {
+					return
+				}
+				defer backendConn.Close()
+				go func() { _, _ = io.Copy(backendConn, conn) }()
+				_, _ = io.Copy(conn, backendConn)
+			}()
+		}
+	}()
+
+	var out CompleteResponse
+	err = post(context.Background(), &http.Client{Timeout: 5 * time.Second},
+		"http://"+ln.Addr().String()+"/shard/complete", CompleteRequest{Index: 0}, &out)
+	if err != nil {
+		t.Fatalf("post through flaky transport: %v", err)
+	}
+	if !out.OK {
+		t.Fatal("decoded response lost the OK flag")
+	}
+	if n := posts.Load(); n != 1 {
+		t.Fatalf("backend saw %d POSTs, want 1", n)
+	}
+}

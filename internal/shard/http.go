@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -182,10 +183,15 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // post sends one JSON request with bounded retries, decoding the response
-// into out. Transient transport errors back off and retry; HTTP-level
-// errors are returned immediately (they are protocol outcomes, not
-// flakiness). A 409 is returned as ErrRejected.
-func post(client *http.Client, url string, in, out any) error {
+// into out. Only transport errors (the request may never have reached the
+// server) back off and retry; both the backoff sleep and the in-flight
+// request abort promptly when ctx is cancelled. Everything that arrives as
+// an HTTP response is terminal: HTTP-level errors are protocol outcomes,
+// not flakiness (a 409 is returned as ErrRejected), and a malformed 200
+// body means the server already handled the request — re-POSTing it would
+// duplicate side effects (for /complete, a duplicate completion masked
+// only by the board's first-wins rule), so decode errors never retry.
+func post(ctx context.Context, client *http.Client, url string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -193,30 +199,38 @@ func post(client *http.Client, url string, in, out any) error {
 	var lastErr error
 	for attempt := 0; attempt < 5; attempt++ {
 		if attempt > 0 {
-			time.Sleep(time.Duration(attempt) * 200 * time.Millisecond)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(attempt) * 200 * time.Millisecond):
+			}
 		}
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			lastErr = err
 			continue
 		}
-		func() {
-			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				var eb errorBody
-				json.NewDecoder(resp.Body).Decode(&eb)
-				if resp.StatusCode == http.StatusConflict {
-					lastErr = fmt.Errorf("%w: %s", ErrRejected, eb.Error)
-				} else {
-					lastErr = fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, eb.Error)
-				}
-				return
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var eb errorBody
+			json.NewDecoder(resp.Body).Decode(&eb)
+			if resp.StatusCode == http.StatusConflict {
+				return fmt.Errorf("%w: %s", ErrRejected, eb.Error)
 			}
-			lastErr = json.NewDecoder(resp.Body).Decode(out)
-		}()
-		if lastErr == nil || resp.StatusCode != http.StatusOK {
-			return lastErr
+			return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, eb.Error)
 		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("%s: decoding response: %w", url, err)
+		}
+		return nil
 	}
 	return lastErr
 }

@@ -65,7 +65,7 @@ func (w *Worker) Loop(ctx context.Context) error {
 			return err
 		}
 		var lr LeaseResponse
-		err := post(w.client(), w.BaseURL+"/shard/lease",
+		err := post(ctx, w.client(), w.BaseURL+"/shard/lease",
 			LeaseRequest{Worker: w.ID, Digest: w.Digest}, &lr)
 		if err != nil {
 			return fmt.Errorf("leasing from %s: %w", w.BaseURL, err)
@@ -124,8 +124,11 @@ func (w *Worker) runLease(ctx context.Context, lr LeaseResponse) (studyDone bool
 			case <-leaseCtx.Done():
 				return
 			case <-t.C:
+				// Heartbeats ride the lease context: a revoked or finished
+				// lease cancels any in-flight heartbeat immediately instead
+				// of letting it hang through backoff retries.
 				var hr HeartbeatResponse
-				err := post(w.client(), w.BaseURL+"/shard/heartbeat",
+				err := post(leaseCtx, w.client(), w.BaseURL+"/shard/heartbeat",
 					HeartbeatRequest{Worker: w.ID, LeaseID: lr.LeaseID}, &hr)
 				if err == nil && hr.Revoked {
 					w.logf("worker %s: lease %d revoked, abandoning [%d,%d)",
@@ -149,7 +152,7 @@ func (w *Worker) runLease(ctx context.Context, lr LeaseResponse) (studyDone bool
 			return leaseCtx.Err()
 		}
 		var cr CompleteResponse
-		err := post(w.client(), w.BaseURL+"/shard/complete",
+		err := post(leaseCtx, w.client(), w.BaseURL+"/shard/complete",
 			CompleteRequest{Worker: w.ID, LeaseID: lr.LeaseID, Index: global, Record: rec}, &cr)
 		if err == nil && cr.Done {
 			done.Store(true)

@@ -83,6 +83,19 @@ const (
 	CtrShardHeartbeats = "shard.heartbeats"
 	CtrShardRejected   = "shard.workers_rejected"
 
+	// Repair service (repaird): submissions admitted into the queue,
+	// duplicate submissions answered from an existing content-addressed job,
+	// submissions rejected by admission control (bounded queue full or
+	// daemon draining), jobs finished (terminal state reached, split into
+	// completed vs failed), and queued jobs restored from the job journal on
+	// daemon restart.
+	CtrServiceSubmitted = "service.jobs_submitted"
+	CtrServiceDeduped   = "service.jobs_deduplicated"
+	CtrServiceRejected  = "service.jobs_rejected"
+	CtrServiceCompleted = "service.jobs_completed"
+	CtrServiceFailed    = "service.jobs_failed"
+	CtrServiceResumed   = "service.jobs_resumed"
+
 	HistSolveNs           = "sat.solve_ns"
 	HistConflictsPerSolve = "sat.conflicts_per_solve"
 	HistDecisionsPerSolve = "sat.decisions_per_solve"
