@@ -38,27 +38,37 @@ func CreateJournal(path string) (*Journal, error) {
 
 // OpenJournal loads an existing journal and reopens it for appending,
 // feeding every complete line to replay in append order. A missing file
-// starts an empty journal. A truncated final line is dropped; a replay
-// error aborts the load, since silently skipping records would desynchronize
-// the caller's state from the journal.
+// starts an empty journal. A truncated final line is dropped — and truncated
+// from the file before the journal reopens for append, so the next record
+// does not concatenate onto the torn tail and corrupt the journal for every
+// subsequent load. A replay error aborts the load, since silently skipping
+// records would desynchronize the caller's state from the journal.
 func OpenJournal(path string, replay func(line []byte) error) (*Journal, error) {
 	data, err := os.ReadFile(path)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("reading journal: %w", err)
 	}
-	for len(data) > 0 {
-		i := bytes.IndexByte(data, '\n')
+	consumed := 0
+	rest := data
+	for len(rest) > 0 {
+		i := bytes.IndexByte(rest, '\n')
 		if i < 0 {
 			// No trailing newline: the record was cut off mid-append.
 			break
 		}
-		line := data[:i]
-		data = data[i+1:]
+		line := rest[:i]
+		rest = rest[i+1:]
+		consumed += i + 1
 		if len(line) == 0 {
 			continue
 		}
 		if err := replay(line); err != nil {
 			return nil, fmt.Errorf("corrupt journal %s: %w", path, err)
+		}
+	}
+	if len(rest) > 0 {
+		if err := os.Truncate(path, int64(consumed)); err != nil {
+			return nil, fmt.Errorf("truncating torn journal tail: %w", err)
 		}
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type journalRec struct {
+	N int `json:"n"`
+}
+
+// loadJournal opens the journal at path, collecting the N of every replayed
+// record.
+func loadJournal(t *testing.T, path string) (*Journal, []int) {
+	t.Helper()
+	var ns []int
+	j, err := OpenJournal(path, func(line []byte) error {
+		var r journalRec
+		if err := json.Unmarshal(line, &r); err != nil {
+			return err
+		}
+		ns = append(ns, r.N)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	return j, ns
+}
+
+// TestOpenJournalTruncatesTornTail covers the full crash-mid-append
+// sequence: a torn final line must not only be dropped on load, it must be
+// removed from the file — otherwise the next Append concatenates onto the
+// torn tail and the *following* load fails on the merged malformed line,
+// permanently refusing the journal that experienced exactly the crash the
+// design claims to tolerate.
+func TestOpenJournalTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte("{\"n\":1}\n{\"n\":2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, ns := loadJournal(t, path)
+	if len(ns) != 1 || ns[0] != 1 {
+		t.Fatalf("first load replayed %v, want [1]", ns)
+	}
+	if err := j.Append(journalRec{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restart after the crash: torn record 2 is gone, and appended
+	// record 3 loads cleanly instead of fusing with its remains.
+	j2, ns2 := loadJournal(t, path)
+	defer j2.Close()
+	if len(ns2) != 2 || ns2[0] != 1 || ns2[1] != 3 {
+		t.Fatalf("reload replayed %v, want [1 3]", ns2)
+	}
+}
+
+// TestOpenJournalKeepsCompleteFile ensures the truncation path does not fire
+// on a cleanly-closed journal.
+func TestOpenJournalKeepsCompleteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte("{\"n\":1}\n{\"n\":2}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, ns := loadJournal(t, path)
+	defer j.Close()
+	if len(ns) != 2 || ns[0] != 1 || ns[1] != 2 {
+		t.Fatalf("replayed %v, want [1 2]", ns)
+	}
+}

@@ -60,6 +60,12 @@ type Service struct {
 	reg   *telemetry.Registry
 	root  *telemetry.Span
 
+	// admitMu serializes admissions so the journal append can happen with
+	// s.mu released: snapshot reads (GET /jobs, /stats, stream polls) never
+	// block behind disk I/O, while a job still becomes visible — dedupable,
+	// listable — only after its submit event is durable.
+	admitMu sync.Mutex
+
 	mu      sync.Mutex
 	store   *store
 	queue   chan *Job
@@ -199,18 +205,32 @@ func (s *Service) Submit(sub Submission) (snap Snapshot, dup bool, err error) {
 	key := sub.key(canonical)
 	id := "j" + key[:16]
 
+	// Serializing admissions lets the journal append run with s.mu released
+	// (readers don't stall behind disk I/O) while the dedup check, depth
+	// check, and publish stay atomic with respect to other admissions.
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if existing, ok := s.store.jobs[id]; ok {
+		defer s.mu.Unlock()
+		if existing.Key != key {
+			// The ID is a 64-bit prefix of the key; on the astronomically
+			// rare prefix collision, refuse rather than alias this client
+			// to another submission's result.
+			return Snapshot{}, false, fmt.Errorf("job id collision on %s: distinct submission already admitted", id)
+		}
 		s.ctrDeduped.Inc()
 		return s.snapshotLocked(existing), true, nil
 	}
 	if s.draining {
 		s.ctrRejected.Inc()
+		s.mu.Unlock()
 		return Snapshot{}, false, ErrDraining
 	}
 	if len(s.queue) >= s.opt.QueueDepth {
 		s.ctrRejected.Inc()
+		s.mu.Unlock()
 		return Snapshot{}, false, ErrQueueFull
 	}
 	job := &Job{
@@ -223,16 +243,24 @@ func (s *Service) Submit(sub Submission) (snap Snapshot, dup bool, err error) {
 		mod:        mod,
 		done:       make(chan struct{}),
 	}
+	s.mu.Unlock()
+
 	// Journal before indexing: once a submission is visible it must be
 	// durable, or a crash between the 202 and the append would silently
 	// drop an accepted job.
 	if err := s.store.appendSubmit(job); err != nil {
 		return Snapshot{}, false, fmt.Errorf("journaling submission: %w", err)
 	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.nextSeq++
 	s.store.jobs[id] = job
 	s.store.order = append(s.store.order, id)
-	s.queue <- job // never blocks: admission bounds len(queue) < cap under mu
+	// The push never blocks: the depth check saw len(queue) < QueueDepth
+	// <= cap, workers only shrink the queue, and admitMu excludes other
+	// pushers until we publish.
+	s.queue <- job
 	s.ctrSubmitted.Inc()
 	return s.snapshotLocked(job), false, nil
 }
@@ -309,14 +337,18 @@ func (s *Service) runJob(col *telemetry.Collector, lane int, job *Job) {
 	})
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.running--
-	if errors.Is(err, context.Canceled) && s.runCtx.Err() != nil {
-		// Hard stop mid-job: the work was abandoned, not completed, and may
-		// have been perturbed by the dead context. Leave the job journaled
-		// as submitted-only so a restarted daemon re-runs it cleanly.
+	if s.runCtx.Err() != nil {
+		// Hard stop: the run context died while this job was in flight, so
+		// whatever execute returned — a wrapped or swallowed cancellation, a
+		// different error, even a nil-error partial outcome — may have been
+		// perturbed by the dead context and cannot be trusted as terminal.
+		// Leave the job journaled as submitted-only so a restarted daemon
+		// re-runs it cleanly (techniques are deterministic per seed, so the
+		// re-run reproduces the same result).
 		job.state = StateQueued
 		job.started = time.Time{}
+		s.mu.Unlock()
 		return
 	}
 	job.finished = time.Now()
@@ -333,6 +365,10 @@ func (s *Service) runJob(col *telemetry.Collector, lane int, job *Job) {
 		}
 		s.ctrCompleted.Inc()
 	}
+	s.mu.Unlock()
+	// Journal with the lock released, like Submit: readers never stall
+	// behind the append's disk I/O. runJob is this job's only writer and the
+	// job is terminal now, so the unlocked reads for the append are safe.
 	if jerr := s.store.appendFinish(job); jerr != nil {
 		s.logf("journaling result of %s: %v", job.ID, jerr)
 	}
@@ -364,8 +400,8 @@ func (s *Service) execute(ctx context.Context, col *telemetry.Collector, job *Jo
 	return tool.Repair(ctx, repair.Problem{Name: job.ID, Faulty: mod, Tests: job.Submission.suite()})
 }
 
-// snapshotLocked renders a job under s.mu.
-func (s *Service) snapshotLocked(job *Job) Snapshot {
+// baseSnapshotLocked renders a job under s.mu, without its queue position.
+func (s *Service) baseSnapshotLocked(job *Job) Snapshot {
 	snap := Snapshot{
 		ID:        job.ID,
 		State:     job.state,
@@ -384,6 +420,14 @@ func (s *Service) snapshotLocked(job *Job) Snapshot {
 		t := job.finished
 		snap.FinishedAt = &t
 	}
+	return snap
+}
+
+// snapshotLocked renders one job under s.mu, including its queue position.
+// Listings use baseSnapshotLocked with a single shared pass instead, so
+// Jobs() stays O(n) rather than running this scan per job.
+func (s *Service) snapshotLocked(job *Job) Snapshot {
+	snap := s.baseSnapshotLocked(job)
 	if job.state == StateQueued {
 		for _, id := range s.store.order {
 			if other := s.store.jobs[id]; other.state == StateQueued && other.seq < job.seq {
@@ -405,13 +449,22 @@ func (s *Service) Job(id string) (Snapshot, bool) {
 	return s.snapshotLocked(job), true
 }
 
-// Jobs lists every known job in admission order.
+// Jobs lists every known job in admission order. Queue positions are
+// assigned in the same pass: order is admission order and seq is monotone in
+// it, so the queued jobs seen so far are exactly the jobs ahead.
 func (s *Service) Jobs() []Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]Snapshot, 0, len(s.store.order))
+	queuedAhead := 0
 	for _, id := range s.store.order {
-		out = append(out, s.snapshotLocked(s.store.jobs[id]))
+		job := s.store.jobs[id]
+		snap := s.baseSnapshotLocked(job)
+		if job.state == StateQueued {
+			snap.QueuePosition = queuedAhead
+			queuedAhead++
+		}
+		out = append(out, snap)
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -316,5 +317,100 @@ func TestConcurrentDuplicateSubmissions(t *testing.T) {
 	st := svc.Stats()
 	if st.Submitted != 1 || st.Deduped != callers-1 {
 		t.Fatalf("submitted=%d deduplicated=%d, want 1 and %d", st.Submitted, st.Deduped, callers-1)
+	}
+}
+
+// Restart must report the original admission and finish times, not the
+// restart time: the journal carries both and replay restores them.
+func TestRestartPreservesTimestamps(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "jobs.jsonl")
+	svc, err := New(Options{Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := svc.Submit(Submission{Spec: faultySrc, Technique: "BeAFix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = waitDone(t, svc, snap.ID)
+	if snap.FinishedAt == nil {
+		t.Fatal("terminal job has no FinishedAt")
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	svc2 := newService(t, Options{Journal: journal})
+	got, ok := svc2.Job(snap.ID)
+	if !ok {
+		t.Fatalf("job %s lost across restart", snap.ID)
+	}
+	if !got.CreatedAt.Equal(snap.CreatedAt) {
+		t.Errorf("CreatedAt %v after restart, want %v", got.CreatedAt, snap.CreatedAt)
+	}
+	if got.FinishedAt == nil || !got.FinishedAt.Equal(*snap.FinishedAt) {
+		t.Errorf("FinishedAt %v after restart, want %v", got.FinishedAt, snap.FinishedAt)
+	}
+}
+
+// A crash mid-append leaves a torn final line. The next start must not only
+// drop it but remove it from the file: before the truncation fix, the first
+// post-crash submission concatenated onto the torn tail and every start
+// after that failed with "corrupt journal".
+func TestResumeAfterTornJournalTail(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "jobs.jsonl")
+	svc, err := New(Options{Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := svc.Submit(Submission{Spec: faultySrc, Technique: "BeAFix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, svc, snap.ID)
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Simulate the crash: a submit record cut off mid-append.
+	f, err := os.OpenFile(journal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"submit","id":"jdead`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First restart drops (and truncates) the torn tail, then appends.
+	svc2, err := New(Options{Journal: journal})
+	if err != nil {
+		t.Fatalf("restart on torn journal: %v", err)
+	}
+	if _, ok := svc2.Job("jdead"); ok {
+		t.Fatal("torn submit record should not have loaded")
+	}
+	snap2, _, err := svc2.Submit(Submission{Spec: hardSrc, Technique: "BeAFix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, svc2, snap2.ID)
+	if err := svc2.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Second restart is the regression: the post-crash append must load.
+	svc3, err := New(Options{Journal: journal})
+	if err != nil {
+		t.Fatalf("journal corrupt after post-crash append: %v", err)
+	}
+	defer svc3.Close()
+	for _, id := range []string{snap.ID, snap2.ID} {
+		got, ok := svc3.Job(id)
+		if !ok || got.State != StateDone {
+			t.Fatalf("job %s after second restart: ok=%v state=%v", id, ok, got.State)
+		}
 	}
 }

@@ -19,6 +19,10 @@ type jobEvent struct {
 	Kind string `json:"kind"` // "submit" | "finish"
 	ID   string `json:"id"`
 	Key  string `json:"key,omitempty"`
+	// At is when the event happened: admission time for "submit", terminal
+	// time for "finish". Replay restores it so CreatedAt/FinishedAt survive
+	// a restart instead of reporting the restart time.
+	At time.Time `json:"at"`
 
 	// Submit payload.
 	Sub *Submission `json:"sub,omitempty"`
@@ -70,12 +74,16 @@ func (st *store) replay(ev *jobEvent) error {
 		if ev.Sub == nil {
 			return fmt.Errorf("submit event %s without submission", ev.ID)
 		}
+		created := ev.At
+		if created.IsZero() {
+			created = time.Now() // journal predates timestamped events
+		}
 		job := &Job{
 			ID:         ev.ID,
 			Key:        ev.Key,
 			Submission: *ev.Sub,
 			state:      StateQueued,
-			created:    time.Now(),
+			created:    created,
 			seq:        int64(len(st.order)),
 			done:       make(chan struct{}),
 		}
@@ -93,7 +101,10 @@ func (st *store) replay(ev *jobEvent) error {
 		if ev.Stats != nil {
 			job.stats = *ev.Stats
 		}
-		job.finished = time.Now()
+		job.finished = ev.At
+		if job.finished.IsZero() {
+			job.finished = time.Now()
+		}
 		close(job.done)
 	default:
 		return fmt.Errorf("unknown job event kind %q", ev.Kind)
@@ -119,7 +130,7 @@ func (st *store) appendSubmit(job *Job) error {
 		return nil
 	}
 	sub := job.Submission
-	return st.journal.Append(&jobEvent{Kind: "submit", ID: job.ID, Key: job.Key, Sub: &sub})
+	return st.journal.Append(&jobEvent{Kind: "submit", ID: job.ID, Key: job.Key, At: job.created, Sub: &sub})
 }
 
 // appendFinish journals a job's terminal state.
@@ -131,6 +142,7 @@ func (st *store) appendFinish(job *Job) error {
 	return st.journal.Append(&jobEvent{
 		Kind:     "finish",
 		ID:       job.ID,
+		At:       job.finished,
 		State:    job.state,
 		Repaired: job.repaired,
 		Result:   job.result,
